@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the softmax blocks (ours vs FSM baseline),
+//! including the bit-level vs level-domain simulator gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_nonlinear::softmax_fsm::{FsmSoftmax, FsmSoftmaxConfig};
+use sc_nonlinear::softmax_iter::{iterative_softmax_float, IterSoftmaxBlock, IterSoftmaxConfig};
+use std::hint::black_box;
+
+fn logits(m: usize) -> Vec<f64> {
+    (0..m).map(|i| ((i as f64) * 0.37).sin() * 1.5).collect()
+}
+
+fn bench_iterative(c: &mut Criterion) {
+    let block = IterSoftmaxBlock::new(IterSoftmaxConfig::default()).expect("feasible");
+    let x = logits(64);
+    c.bench_function("iter_softmax_bit_level_m64", |b| {
+        b.iter(|| black_box(block.run(black_box(&x))))
+    });
+    c.bench_function("iter_softmax_level_domain_m64", |b| {
+        b.iter(|| black_box(block.run_levels(black_box(&x))))
+    });
+    c.bench_function("iter_softmax_float_reference_m64", |b| {
+        b.iter(|| black_box(iterative_softmax_float(black_box(&x), 3)))
+    });
+}
+
+fn bench_fsm_baseline(c: &mut Criterion) {
+    let block =
+        FsmSoftmax::new(FsmSoftmaxConfig { m: 64, bsl: 128, ..Default::default() }).expect("valid");
+    let x = logits(64);
+    c.bench_function("fsm_softmax_128b_m64", |b| b.iter(|| black_box(block.run(black_box(&x)))));
+}
+
+criterion_group!(benches, bench_iterative, bench_fsm_baseline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of ViT inference: float model vs SC engine.
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend_vit::data::synth_cifar;
+use ascend_vit::train::{train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_vit(c: &mut Criterion) {
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, _test) = synth_cifar(4, 64, 16, 8, 5);
+    train_model(
+        &mut model,
+        None,
+        &train,
+        &_test,
+        &TrainConfig { epochs: 1, batch: 16, ..Default::default() },
+    );
+    model.set_plan(PrecisionPlan::w2_a2_r16());
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    model.calibrate_steps(&calib, 16);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).expect("compiles");
+
+    let patches = train.patches(&(0..8).collect::<Vec<_>>(), 4);
+    c.bench_function("vit_float_predict_batch8", |b| {
+        b.iter(|| black_box(model.predict(black_box(&patches), 8)))
+    });
+    c.bench_function("vit_sc_engine_batch8", |b| {
+        b.iter(|| black_box(engine.forward(black_box(&patches), 8)))
+    });
+}
+
+criterion_group!(benches, bench_vit);
+criterion_main!(benches);

@@ -1,0 +1,589 @@
+//! End-to-end SC inference: executing the low-precision ViT with
+//! thermometer-coded arithmetic.
+//!
+//! The engine consumes a trained BN-ViT in its `W·-A·-R·` plan and runs it
+//! the way the accelerator would:
+//!
+//! * every quantizer site becomes a thermometer codec (`level = value/step`,
+//!   BSL from the plan) — linear layers are then *exact* in SC, because
+//!   truth-table multiplication and BSN accumulation of thermometer levels
+//!   reproduce integer arithmetic bit-for-bit (`sc-core` proves this by
+//!   property test, so the engine computes on levels directly);
+//! * BatchNorm folds into per-channel affines absorbed by the neighbouring
+//!   scale factors ([`ascend_vit::norm::Norm::folded_affine`]);
+//! * GELU runs through a **gate-assisted SI** transfer table compiled per
+//!   MLP layer ([`sc_nonlinear::gate_si`]), wide thermometer in, activation
+//!   grid out;
+//! * attention softmax runs through the **iterative approximate softmax
+//!   block** ([`sc_nonlinear::softmax_iter`]) at the configured
+//!   `[By, s1, s2, k]` — the level-domain fast path, which is
+//!   property-tested identical to the bit-level circuit simulation.
+//!
+//! The one float-domain remnant is LayerNorm, which cannot fold into static
+//! scale factors; the engine therefore requires a BatchNorm model — exactly
+//! the constraint that motivates the paper's LN→BN swap (§V).
+
+use ascend_tensor::Tensor;
+use ascend_vit::norm::Norm;
+use ascend_vit::{NormKind, VitModel};
+use sc_core::rescale::RescaleMode;
+use sc_core::ScError;
+use sc_nonlinear::gate_si::GateAssistedSi;
+use sc_nonlinear::ref_fn;
+use sc_nonlinear::softmax_iter::{IterSoftmaxBlock, IterSoftmaxConfig};
+use sc_core::encoding::Thermometer;
+
+/// Hardware configuration of the engine's nonlinear blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Softmax state BSL (`By` of Table VI).
+    pub softmax_by: usize,
+    /// Softmax `sum(z)` sub-sample rate (`s1`).
+    pub softmax_s1: usize,
+    /// Softmax `y·sum(z)` sub-sample rate (`s2`).
+    pub softmax_s2: usize,
+    /// Softmax iteration count (`k`); the accelerator instantiates `k`
+    /// parallel blocks (Table VI note).
+    pub softmax_k: usize,
+    /// Softmax input BSL (`Bx`, 4 in Table IV).
+    pub softmax_bx: usize,
+    /// Gate-assisted-SI GELU input BSL (the accumulated stream width).
+    pub gelu_bx: usize,
+    /// Re-scaling rounding mode.
+    pub mode: RescaleMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // The paper's recommended [By, s1, s2, k] = [8, 32, 8, 3].
+        EngineConfig {
+            softmax_by: 8,
+            softmax_s1: 32,
+            softmax_s2: 8,
+            softmax_k: 3,
+            softmax_bx: 4,
+            gelu_bx: 256,
+            mode: RescaleMode::Round,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The `[By, s1, s2, k]` quadruple of Table VI.
+    pub fn from_quad(by: usize, s1: usize, s2: usize, k: usize) -> Self {
+        EngineConfig { softmax_by: by, softmax_s1: s1, softmax_s2: s2, softmax_k: k, ..Default::default() }
+    }
+}
+
+/// Per-layer compiled artifacts.
+struct LayerPlan {
+    norm1_affine: (Vec<f32>, Vec<f32>),
+    norm2_affine: (Vec<f32>, Vec<f32>),
+    gelu: GateAssistedSi,
+}
+
+/// The compiled SC inference engine.
+pub struct ScEngine {
+    model: VitModel,
+    config: EngineConfig,
+    softmax: IterSoftmaxBlock,
+    layers: Vec<LayerPlan>,
+    head_affine: (Vec<f32>, Vec<f32>),
+}
+
+impl ScEngine {
+    /// Compiles the engine for a trained BatchNorm model.
+    ///
+    /// `calib_patches`/`calib_batch` supply one representative batch used to
+    /// calibrate the GELU input range and the softmax logit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if the model uses LayerNorm (not
+    /// SC-mappable; see module docs) or a softmax configuration is
+    /// infeasible.
+    pub fn compile(
+        model: &VitModel,
+        config: EngineConfig,
+        calib_patches: &Tensor,
+        calib_batch: usize,
+    ) -> Result<Self, ScError> {
+        if model.config.norm != NormKind::Batch {
+            return Err(ScError::InvalidParam {
+                name: "model",
+                reason: "SC engine requires a BatchNorm model (paper §V LN→BN swap)".into(),
+            });
+        }
+        let seq = model.config.seq_len();
+
+        // Calibrate: observe attention-score and GELU-input magnitudes with
+        // a float probe pass.
+        let probe = Probe::collect(model, calib_patches, calib_batch);
+
+        // Softmax block: αx sized so Bx/2 levels cover the observed score
+        // range; αy sized so By/2 levels cover [0, 1]. The requested s1/s2
+        // were chosen for the paper's m = 64; for other row lengths the
+        // engine degrades them to the nearest feasible rates (divisibility
+        // of the internal stream widths).
+        let ax = (2.0 * probe.score_scale.max(0.5) / config.softmax_bx as f64).max(1e-3);
+        // Circuit-aware αy calibration: try the DSE's scale options and keep
+        // the one with the lowest MAE on the probed attention rows.
+        let base_ay = 2.0 / config.softmax_by as f64;
+        let mut softmax: Option<(f64, IterSoftmaxBlock)> = None;
+        for mult in [0.25, 0.5, 1.0] {
+            let candidate = feasible_softmax(IterSoftmaxConfig {
+                m: seq,
+                k: config.softmax_k,
+                bx: config.softmax_bx,
+                ax,
+                by: config.softmax_by,
+                ay: base_ay * mult,
+                s1: config.softmax_s1,
+                s2: config.softmax_s2,
+                mode: config.mode,
+            });
+            let Ok(block) = candidate else { continue };
+            // Calibration metric: overall MAE plus a heavy penalty on the
+            // row's dominant entry — clamping the top attention weight is
+            // far more damaging than diffuse small-entry error.
+            let mut score = 0.0f64;
+            for row in &probe.score_rows {
+                let got = block.run_levels(row)?;
+                let want = sc_nonlinear::ref_fn::softmax(row);
+                let mut top = 0usize;
+                for (i, w) in want.iter().enumerate() {
+                    if *w > want[top] {
+                        top = i;
+                    }
+                }
+                let mae: f64 = got
+                    .iter()
+                    .zip(want.iter())
+                    .map(|(g, w)| (g - w).abs())
+                    .sum::<f64>()
+                    / row.len() as f64;
+                score += mae + 4.0 * (got[top] - want[top]).abs();
+            }
+            let better = softmax.as_ref().map_or(true, |(best, _)| score < *best);
+            if better {
+                softmax = Some((score, block));
+            }
+        }
+        let softmax = softmax
+            .ok_or_else(|| ScError::InvalidParam {
+                name: "softmax",
+                reason: "no feasible softmax configuration for this model geometry".into(),
+            })?
+            .1;
+
+        // Per-layer folded affines and GELU tables.
+        let mut layers = Vec::with_capacity(model.blocks().len());
+        for (li, block) in model.blocks().iter().enumerate() {
+            let (n1, n2) = block.norms();
+            let (_, mid_site) = block.mlp().sites();
+            let gelu_in =
+                Thermometer::with_range(config.gelu_bx, probe.gelu_absmax[li].max(0.5))?;
+            let act_bsl = model.plan().acts.unwrap_or(16);
+            let gelu_out = Thermometer::new(act_bsl, mid_site.step_value() as f64)?;
+            let gelu = GateAssistedSi::compile(ref_fn::gelu, gelu_in, gelu_out)?;
+            layers.push(LayerPlan {
+                norm1_affine: folded(n1),
+                norm2_affine: folded(n2),
+                gelu,
+            });
+        }
+        let head_affine = folded(model.head_norm());
+
+        Ok(ScEngine { model: model.clone(), config, softmax, layers, head_affine })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The compiled softmax block (e.g. for hardware costing).
+    pub fn softmax_block(&self) -> &IterSoftmaxBlock {
+        &self.softmax
+    }
+
+    /// The compiled per-layer GELU blocks.
+    pub fn gelu_blocks(&self) -> Vec<&GateAssistedSi> {
+        self.layers.iter().map(|l| &l.gelu).collect()
+    }
+
+    /// Runs SC inference on pre-extracted patches, returning logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates softmax-block errors (infeasible configurations are
+    /// rejected at [`ScEngine::compile`] time, so this is unexpected).
+    pub fn forward(&self, patches: &Tensor, batch: usize) -> Result<Tensor, ScError> {
+        let m = &self.model;
+        let cfg = &m.config;
+        let plan = m.plan();
+        let (s, d, h, dh) = (cfg.seq_len(), cfg.dim, cfg.heads, cfg.head_dim());
+        let wq = |lin: &ascend_vit::model::Linear| -> Tensor {
+            fake_quant(&lin.w, lin.w_site.step_value(), plan.weights)
+        };
+
+        // Patch embedding (+ cls, + pos), then the residual grid.
+        let tokens = linear(patches, &wq(m.patch_embed()), &m.patch_embed().b);
+        let mut x = assemble_sequence(&tokens, m.cls_token(), m.pos_embedding(), batch, cfg);
+
+        for (block, lp) in m.blocks().iter().zip(self.layers.iter()) {
+            let (in_site_a, out_site_a) = block.attn().sites();
+            let (res1, res2) = block.res_sites();
+
+            // --- MSA ---
+            let n1 = affine(&x, &lp.norm1_affine);
+            let xq = fake_quant(&n1, in_site_a.step_value(), plan.acts);
+            let q = split_heads(&linear(&xq, &wq(block.attn().q()), &block.attn().q().b), batch, s, h, dh);
+            let k = split_heads(&linear(&xq, &wq(block.attn().k()), &block.attn().k().b), batch, s, h, dh);
+            let v = split_heads(&linear(&xq, &wq(block.attn().v()), &block.attn().v().b), batch, s, h, dh);
+            let mut scores =
+                q.batched_matmul(&k.batched_transpose()).scale(1.0 / (dh as f32).sqrt());
+            self.sc_softmax_rows(&mut scores)?;
+            let ctx = merge_heads(&scores.batched_matmul(&v), batch, s, h, dh);
+            let ctxq = fake_quant(&ctx, out_site_a.step_value(), plan.acts);
+            let attn_out = linear(&ctxq, &wq(block.attn().proj()), &block.attn().proj().b);
+            x = fake_quant(&x.add(&attn_out), res1.step_value(), plan.residual);
+
+            // --- MLP with gate-assisted SI GELU ---
+            let (mlp_in, _) = block.mlp().sites();
+            let n2 = affine(&x, &lp.norm2_affine);
+            let hq = fake_quant(&n2, mlp_in.step_value(), plan.acts);
+            let pre = linear(&hq, &wq(block.mlp().fc1()), &block.mlp().fc1().b);
+            let act = self.sc_gelu(&pre, &lp.gelu);
+            let out = linear(&act, &wq(block.mlp().fc2()), &block.mlp().fc2().b);
+            x = fake_quant(&x.add(&out), res2.step_value(), plan.residual);
+        }
+
+        // Head.
+        let hn = affine(&x, &self.head_affine);
+        let cls = hn.reshape(&[batch, s, d]).select_axis1(0);
+        Ok(linear(&cls, &wq(m.head()), &m.head().b))
+    }
+
+    /// Top-1 accuracy over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScEngine::forward`] errors.
+    pub fn accuracy(
+        &self,
+        data: &ascend_vit::data::Dataset,
+        batch: usize,
+    ) -> Result<f32, ScError> {
+        let patch = self.model.config.patch;
+        let mut correct = 0usize;
+        let all: Vec<usize> = (0..data.len()).collect();
+        for chunk in all.chunks(batch.max(1)) {
+            let patches = data.patches(chunk, patch);
+            let logits = self.forward(&patches, chunk.len())?;
+            for (pred, want) in logits.argmax_rows().iter().zip(data.labels_for(chunk)) {
+                if *pred == want {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(correct as f32 / data.len().max(1) as f32)
+    }
+
+    /// Applies the SC softmax block to every row of `[n, s, s]` scores.
+    fn sc_softmax_rows(&self, scores: &mut Tensor) -> Result<(), ScError> {
+        let shape = scores.shape().to_vec();
+        let s = shape[2];
+        let rows = scores.numel() / s;
+        let data = scores.data_mut();
+        let mut row_buf = vec![0.0f64; s];
+        for r in 0..rows {
+            for (b, v) in row_buf.iter_mut().zip(&data[r * s..(r + 1) * s]) {
+                *b = *v as f64;
+            }
+            let y = self.softmax.run_levels(&row_buf)?;
+            for (dst, v) in data[r * s..(r + 1) * s].iter_mut().zip(y.iter()) {
+                *dst = *v as f32;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the compiled gate-SI GELU transfer elementwise.
+    fn sc_gelu(&self, x: &Tensor, block: &GateAssistedSi) -> Tensor {
+        let table = block.ones_table();
+        let in_scale = block.input().scale();
+        let in_half = (block.input().len() / 2) as f64;
+        let out_scale = block.output().scale();
+        let out_half = (block.output().len() / 2) as i64;
+        x.map(|v| {
+            let t = ((v as f64 / in_scale).round().clamp(-in_half, in_half) + in_half) as usize;
+            (out_scale * (table[t] as i64 - out_half) as f64) as f32
+        })
+    }
+}
+
+/// Builds the softmax block, halving `s1`/`s2` until the configuration is
+/// feasible for the given row length.
+fn feasible_softmax(mut cfg: IterSoftmaxConfig) -> Result<IterSoftmaxBlock, ScError> {
+    let requested = (cfg.s1, cfg.s2);
+    let mut s1 = cfg.s1;
+    while s1 >= 1 {
+        let mut s2 = cfg.s2;
+        while s2 >= 1 {
+            cfg.s1 = s1;
+            cfg.s2 = s2;
+            if let Ok(block) = IterSoftmaxBlock::new(cfg) {
+                return Ok(block);
+            }
+            s2 /= 2;
+        }
+        s1 /= 2;
+    }
+    Err(ScError::InvalidParam {
+        name: "softmax",
+        reason: format!(
+            "no feasible sub-sample rates at or below s1={} s2={} for m={}",
+            requested.0, requested.1, cfg.m
+        ),
+    })
+}
+
+/// Eval-mode LSQ: `round(clamp(x/s, −L/2, L/2))·s`, or pass-through in FP.
+fn fake_quant(x: &Tensor, step: f32, bsl: Option<usize>) -> Tensor {
+    match bsl {
+        None => x.clone(),
+        Some(l) => {
+            let half = (l / 2) as f32;
+            x.map(|v| (v / step).clamp(-half, half).round() * step)
+        }
+    }
+}
+
+fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = x.matmul(w);
+    let (n, m) = (out.shape()[0], out.shape()[1]);
+    for i in 0..n {
+        for j in 0..m {
+            out.data_mut()[i * m + j] += b.data()[j];
+        }
+    }
+    out
+}
+
+fn affine(x: &Tensor, (scale, shift): &(Vec<f32>, Vec<f32>)) -> Tensor {
+    let (n, m) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    for i in 0..n {
+        for j in 0..m {
+            let v = &mut out.data_mut()[i * m + j];
+            *v = *v * scale[j] + shift[j];
+        }
+    }
+    out
+}
+
+fn folded(norm: &Norm) -> (Vec<f32>, Vec<f32>) {
+    norm.folded_affine()
+}
+
+fn split_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
+    x.reshape(&[batch, s, h, dh]).permute(&[0, 2, 1, 3]).reshape(&[batch * h, s, dh])
+}
+
+fn merge_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
+    x.reshape(&[batch, h, s, dh]).permute(&[0, 2, 1, 3]).reshape(&[batch * s, h * dh])
+}
+
+fn assemble_sequence(
+    tokens: &Tensor,
+    cls: &Tensor,
+    pos: &Tensor,
+    batch: usize,
+    cfg: &ascend_vit::VitConfig,
+) -> Tensor {
+    let (p, s, d) = (cfg.num_patches(), cfg.seq_len(), cfg.dim);
+    let mut out = vec![0.0f32; batch * s * d];
+    for bi in 0..batch {
+        out[bi * s * d..bi * s * d + d].copy_from_slice(cls.data());
+        out[bi * s * d + d..(bi + 1) * s * d]
+            .copy_from_slice(&tokens.data()[bi * p * d..(bi + 1) * p * d]);
+        for j in 0..s * d {
+            out[bi * s * d + j] += pos.data()[j];
+        }
+    }
+    Tensor::from_vec(out, &[batch * s, d])
+}
+
+/// Calibration probe: float forward capturing score/GELU-input magnitudes
+/// and a sample of attention-score rows for scale selection.
+struct Probe {
+    /// 98th percentile of |score| — robust to outliers, which merely clamp
+    /// (softmax saturates for them anyway).
+    score_scale: f64,
+    gelu_absmax: Vec<f64>,
+    score_rows: Vec<Vec<f64>>,
+}
+
+impl Probe {
+    fn collect(model: &VitModel, patches: &Tensor, batch: usize) -> Probe {
+        // Mirror the engine's own dataflow in float (exact softmax, float
+        // GELU) and record magnitudes.
+        let cfg = &model.config;
+        let plan = model.plan();
+        let (s, _d, h, dh) = (cfg.seq_len(), cfg.dim, cfg.heads, cfg.head_dim());
+        let wq = |lin: &ascend_vit::model::Linear| -> Tensor {
+            fake_quant(&lin.w, lin.w_site.step_value(), plan.weights)
+        };
+        let tokens = linear(patches, &wq(model.patch_embed()), &model.patch_embed().b);
+        let mut x =
+            assemble_sequence(&tokens, model.cls_token(), model.pos_embedding(), batch, cfg);
+        let mut score_samples: Vec<f64> = Vec::new();
+        let mut gelu_absmax = Vec::new();
+        let mut score_rows: Vec<Vec<f64>> = Vec::new();
+        for block in model.blocks() {
+            let (n1, n2) = block.norms();
+            let (in_site_a, out_site_a) = block.attn().sites();
+            let (res1, res2) = block.res_sites();
+            let xq = fake_quant(&affine(&x, &n1.folded_affine()), in_site_a.step_value(), plan.acts);
+            let q = split_heads(&linear(&xq, &wq(block.attn().q()), &block.attn().q().b), batch, s, h, dh);
+            let k = split_heads(&linear(&xq, &wq(block.attn().k()), &block.attn().k().b), batch, s, h, dh);
+            let v = split_heads(&linear(&xq, &wq(block.attn().v()), &block.attn().v().b), batch, s, h, dh);
+            let scores =
+                q.batched_matmul(&k.batched_transpose()).scale(1.0 / (dh as f32).sqrt());
+            score_samples.extend(scores.data().iter().map(|v| v.abs() as f64));
+            if score_rows.len() < 64 {
+                let rows = scores.numel() / s;
+                for r in (0..rows).step_by((rows / 8).max(1)) {
+                    score_rows.push(
+                        scores.data()[r * s..(r + 1) * s].iter().map(|v| *v as f64).collect(),
+                    );
+                }
+            }
+            let probs = scores.softmax_last();
+            let ctx = merge_heads(&probs.batched_matmul(&v), batch, s, h, dh);
+            let ctxq = fake_quant(&ctx, out_site_a.step_value(), plan.acts);
+            let attn_out = linear(&ctxq, &wq(block.attn().proj()), &block.attn().proj().b);
+            x = fake_quant(&x.add(&attn_out), res1.step_value(), plan.residual);
+
+            let (mlp_in, mlp_mid) = block.mlp().sites();
+            let hq = fake_quant(&affine(&x, &n2.folded_affine()), mlp_in.step_value(), plan.acts);
+            let pre = linear(&hq, &wq(block.mlp().fc1()), &block.mlp().fc1().b);
+            let mut mx = 0.0f64;
+            for v in pre.data() {
+                mx = mx.max(v.abs() as f64);
+            }
+            gelu_absmax.push(mx);
+            let act = fake_quant(
+                &pre.map(|v| ascend_tensor::graph::gelu_f(v)),
+                mlp_mid.step_value(),
+                plan.acts,
+            );
+            let out = linear(&act, &wq(block.mlp().fc2()), &block.mlp().fc2().b);
+            x = fake_quant(&x.add(&out), res2.step_value(), plan.residual);
+        }
+        score_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let idx = ((score_samples.len() as f64) * 0.98) as usize;
+        let score_scale = score_samples.get(idx.min(score_samples.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(1.0);
+        Probe { score_scale, gelu_absmax, score_rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_vit::data::synth_cifar;
+    use ascend_vit::train::{train_model, TrainConfig};
+    use ascend_vit::{PrecisionPlan, VitConfig};
+
+    fn trained_quant_model() -> (VitModel, ascend_vit::data::Dataset, ascend_vit::data::Dataset) {
+        let cfg = VitConfig {
+            image: 8,
+            patch: 4,
+            dim: 16,
+            layers: 2,
+            heads: 2,
+            classes: 4,
+            ..Default::default()
+        };
+        let mut model = VitModel::new(cfg);
+        let (train, test) = synth_cifar(4, 96, 48, 8, 5);
+        let tc = TrainConfig { epochs: 8, batch: 16, lr: 2e-3, ..Default::default() };
+        train_model(&mut model, None, &train, &test, &tc);
+        model.set_plan(PrecisionPlan::w2_a2_r16());
+        let calib = train.patches(&[0, 1, 2, 3], 4);
+        model.calibrate_steps(&calib, 4);
+        train_model(&mut model, None, &train, &test, &tc);
+        (model, train, test)
+    }
+
+    #[test]
+    fn engine_rejects_layernorm_models() {
+        let cfg = VitConfig {
+            image: 8,
+            patch: 4,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            classes: 2,
+            norm: ascend_vit::NormKind::Layer,
+            ..Default::default()
+        };
+        let model = VitModel::new(cfg);
+        let calib = Tensor::zeros(&[4, cfg.patch_dim()]);
+        assert!(ScEngine::compile(&model, EngineConfig::default(), &calib, 1).is_err());
+    }
+
+    #[test]
+    fn engine_tracks_the_model_with_float_approximate_softmax() {
+        // The fair reference: the same model running the *float* iterative
+        // softmax (Algorithm 1 at the same k). The engine's remaining delta
+        // is then pure SC quantization, which must be small. This mirrors
+        // the paper's stage-2 setup, where the network is adapted to the
+        // approximation and the circuit only adds quantization error.
+        let (mut model, train, test) = trained_quant_model();
+        let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+        let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).unwrap();
+        model.set_softmax(ascend_vit::SoftmaxKind::IterApprox {
+            k: engine.config().softmax_k,
+        });
+        let idx: Vec<usize> = (0..32).collect();
+        let patches = test.patches(&idx, 4);
+        let sc_logits = engine.forward(&patches, 32).unwrap();
+        let float_logits = model.predict(&patches, 32);
+        let agree = sc_logits
+            .argmax_rows()
+            .iter()
+            .zip(float_logits.argmax_rows().iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree >= 22, "SC engine diverges from approx-softmax model: {agree}/32 agree");
+    }
+
+    #[test]
+    fn engine_accuracy_close_to_model_accuracy() {
+        let (model, train, test) = trained_quant_model();
+        let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+        let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).unwrap();
+        let sc_acc = engine.accuracy(&test, 16).unwrap();
+        let float_acc = ascend_vit::train::evaluate(&model, &test, 16);
+        assert!(
+            (sc_acc - float_acc).abs() < 0.25,
+            "sc {sc_acc} vs float {float_acc}"
+        );
+    }
+
+    #[test]
+    fn coarser_softmax_state_does_not_crash_and_stays_bounded() {
+        let (model, train, test) = trained_quant_model();
+        let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+        for by in [4usize, 8, 16] {
+            let cfg = EngineConfig::from_quad(by, 8, 4, 3);
+            let engine = ScEngine::compile(&model, cfg, &calib, 16).unwrap();
+            let acc = engine.accuracy(&test, 16).unwrap();
+            assert!((0.0..=1.0).contains(&acc), "By={by} acc {acc}");
+        }
+    }
+}

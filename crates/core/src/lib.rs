@@ -1,0 +1,42 @@
+//! # ascend — end-to-end stochastic-computing acceleration of ViT
+//!
+//! The co-design core of the ASCEND reproduction (DATE 2024,
+//! arXiv:2402.12820), tying the circuit level and the network level
+//! together:
+//!
+//! * [`pipeline`] — the **two-stage training pipeline** (paper §V, Fig. 6):
+//!   progressive quantization FP → W16-A16-R16 → W16-A2-R16 → W2-A2-R16
+//!   with per-step knowledge distillation, then approximate-softmax-aware
+//!   fine-tuning. Regenerates the rows of Table V.
+//! * [`engine`] — the **end-to-end SC inference engine**: runs the trained
+//!   low-precision ViT with thermometer-coded arithmetic — gate-assisted SI
+//!   GELU blocks, the iterative approximate softmax block, and BN affines
+//!   folded into scale factors.
+//! * [`accelerator`] — the **accelerator area model** (Table VI): the
+//!   compute arrays plus `k` parallel softmax blocks, costed with
+//!   [`sc_hw`]'s analytic synthesis model.
+//! * [`report`] — table formatting shared by the benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ascend::pipeline::{Pipeline, PipelineConfig};
+//!
+//! // A miniature run of the full two-stage pipeline (Table V).
+//! let cfg = PipelineConfig::smoke_test();
+//! let mut pipeline = Pipeline::new(cfg);
+//! let report = pipeline.run();
+//! println!("{}", report.table());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accelerator;
+pub mod engine;
+pub mod pipeline;
+pub mod report;
+
+pub use accelerator::{AcceleratorConfig, AcceleratorModel};
+pub use engine::{EngineConfig, ScEngine};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};

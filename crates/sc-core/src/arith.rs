@@ -1,0 +1,191 @@
+//! Stochastic arithmetic over unipolar/bipolar bitstreams.
+//!
+//! These are the classic single-gate SC operators used by the *baseline*
+//! circuit families (FSM, Bernstein): AND multiplies unipolar streams, XNOR
+//! multiplies bipolar streams, a MUX performs scaled addition. They assume
+//! statistically independent operands; [`scc`] quantifies how far a pair of
+//! streams is from that assumption.
+
+use crate::{Bitstream, ScError};
+
+/// Unipolar multiplication: `P(a ∧ b) = P(a)·P(b)` for independent streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if lengths differ.
+///
+/// ```
+/// use sc_core::arith::and_mul;
+/// use sc_core::sng::{Lfsr, RandomSource};
+///
+/// let mut s1 = Lfsr::new(10, 17)?;
+/// let mut s2 = Lfsr::new(10, 91)?;
+/// let a = s1.bitstream(0.5, 1023)?;
+/// let b = s2.bitstream(0.5, 1023)?;
+/// let p = and_mul(&a, &b)?;
+/// assert!((p.frac_ones() - 0.25).abs() < 0.05);
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+pub fn and_mul(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, ScError> {
+    a.and(b)
+}
+
+/// Bipolar multiplication: an XNOR gate computes `v(a)·v(b)` for independent
+/// bipolar streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if lengths differ.
+pub fn xnor_mul(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, ScError> {
+    a.xnor(b)
+}
+
+/// MUX scaled addition: with a select stream of probability `0.5`, the output
+/// value is `(v(a) + v(b)) / 2` in either encoding.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if any two lengths differ.
+pub fn mux_add(a: &Bitstream, b: &Bitstream, select: &Bitstream) -> Result<Bitstream, ScError> {
+    if a.len() != b.len() {
+        return Err(ScError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    if a.len() != select.len() {
+        return Err(ScError::LengthMismatch { left: a.len(), right: select.len() });
+    }
+    Ok(Bitstream::from_fn(a.len(), |i| if select.get(i) { a.get(i) } else { b.get(i) }))
+}
+
+/// Stochastic cross-correlation (SCC) of two equal-length streams.
+///
+/// SCC is `+1` for maximally overlapping streams, `0` for independent ones
+/// and `−1` for maximally anti-overlapping ones. SC multipliers are exact at
+/// SCC = 0; thermometer streams deliberately run at SCC = +1 and use
+/// position-based operators instead.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if lengths differ.
+pub fn scc(a: &Bitstream, b: &Bitstream) -> Result<f64, ScError> {
+    if a.len() != b.len() {
+        return Err(ScError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return Ok(0.0);
+    }
+    let p1 = a.frac_ones();
+    let p2 = b.frac_ones();
+    let p11 = a.and(b)?.count_ones() as f64 / n;
+    let delta = p11 - p1 * p2;
+    let denom = if delta > 0.0 {
+        p1.min(p2) - p1 * p2
+    } else {
+        p1 * p2 - (p1 + p2 - 1.0).max(0.0)
+    };
+    if denom.abs() < 1e-15 {
+        Ok(0.0)
+    } else {
+        Ok(delta / denom)
+    }
+}
+
+/// Accumulates unipolar streams with a parallel counter: output value is the
+/// *sum* of the input fractions (a real number, since the count exceeds one
+/// bit per cycle). This models the APC used by FSM-based softmax baselines.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ, and
+/// [`ScError::InvalidParam`] if `streams` is empty.
+pub fn parallel_count(streams: &[&Bitstream]) -> Result<Vec<u32>, ScError> {
+    let first = streams.first().ok_or(ScError::InvalidParam {
+        name: "streams",
+        reason: "at least one stream required".into(),
+    })?;
+    let len = first.len();
+    for s in streams {
+        if s.len() != len {
+            return Err(ScError::LengthMismatch { left: len, right: s.len() });
+        }
+    }
+    Ok((0..len)
+        .map(|i| streams.iter().filter(|s| s.get(i)).count() as u32)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::{Lfsr, RandomSource};
+
+    fn stream(p: f64, len: usize, seed: u32) -> Bitstream {
+        Lfsr::new(12, seed).unwrap().bitstream(p, len).unwrap()
+    }
+
+    #[test]
+    fn and_mul_approximates_product() {
+        let a = stream(0.6, 4095, 3);
+        let b = stream(0.7, 4095, 1771);
+        let p = and_mul(&a, &b).unwrap();
+        assert!((p.frac_ones() - 0.42).abs() < 0.03);
+    }
+
+    #[test]
+    fn xnor_mul_approximates_bipolar_product() {
+        // v = 0.4 and v = -0.5 → product -0.2
+        let a = stream(0.7, 4095, 9);
+        let b = stream(0.25, 4095, 3333);
+        let p = xnor_mul(&a, &b).unwrap();
+        let v = 2.0 * p.frac_ones() - 1.0;
+        assert!((v + 0.2).abs() < 0.05, "got {v}");
+    }
+
+    #[test]
+    fn mux_add_halves_sum() {
+        let a = stream(0.8, 4095, 21);
+        let b = stream(0.2, 4095, 1234);
+        let sel = stream(0.5, 4095, 777);
+        let out = mux_add(&a, &b, &sel).unwrap();
+        assert!((out.frac_ones() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mux_add_length_checks() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(8);
+        let sel = Bitstream::zeros(4);
+        assert!(mux_add(&a, &b, &sel).is_err());
+    }
+
+    #[test]
+    fn scc_extremes() {
+        let a = Bitstream::from_str_binary("11110000").unwrap();
+        assert!((scc(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        let b = a.not();
+        assert!((scc(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scc_independent_streams_near_zero() {
+        let a = stream(0.5, 4095, 5);
+        let b = stream(0.5, 4095, 4242);
+        assert!(scc(&a, &b).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn scc_empty_is_zero() {
+        let a = Bitstream::zeros(0);
+        assert_eq!(scc(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn parallel_count_sums_columns() {
+        let a = Bitstream::from_str_binary("110").unwrap();
+        let b = Bitstream::from_str_binary("011").unwrap();
+        let c = Bitstream::from_str_binary("111").unwrap();
+        let counts = parallel_count(&[&a, &b, &c]).unwrap();
+        assert_eq!(counts, vec![2, 3, 2]);
+        assert!(parallel_count(&[]).is_err());
+    }
+}

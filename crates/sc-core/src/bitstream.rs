@@ -1,0 +1,475 @@
+//! Packed bitstreams: the raw carrier of every SC value.
+//!
+//! A [`Bitstream`] stores bits packed into `u64` words. All SC encodings in
+//! this crate ([`crate::encoding`]) are views interpreting a `Bitstream`.
+
+use std::fmt;
+
+use crate::ScError;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length sequence of bits, packed 64 per word.
+///
+/// Bit `0` is the head of the stream (for thermometer codes, the end where
+/// the 1s live). Out-of-range trailing bits in the last word are kept zero as
+/// an internal invariant, so [`Bitstream::count_ones`] is a straight popcount.
+///
+/// ```
+/// use sc_core::Bitstream;
+///
+/// let s = Bitstream::from_bits([true, true, false, true]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.count_ones(), 3);
+/// assert!(s.get(0) && !s.get(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bitstream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitstream {
+    /// Creates an all-zero stream of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitstream { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Creates an all-one stream of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut s = Self::zeros(len);
+        for i in 0..s.words.len() {
+            s.words[i] = u64::MAX;
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a stream from an iterator of bits; the first item is bit 0.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut s = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Creates a stream of `len` bits where bit `i` is `f(i)`.
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
+        let mut s = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Parses a stream from a string of `'0'`/`'1'` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if any character is not `0` or `1`.
+    pub fn from_str_binary(text: &str) -> Result<Self, ScError> {
+        let mut bits = Vec::with_capacity(text.len());
+        for c in text.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                other => {
+                    return Err(ScError::InvalidParam {
+                        name: "text",
+                        reason: format!("unexpected character {other:?}, expected 0 or 1"),
+                    })
+                }
+            }
+        }
+        Ok(Self::from_bits(bits))
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let w = i / WORD_BITS;
+        let b = i % WORD_BITS;
+        if v {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Flips bit `i`, returning its new value. Used by fault-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of 1-bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of 1-bits, i.e. the unipolar value of the stream.
+    ///
+    /// Returns `0.0` for an empty stream.
+    pub fn frac_ones(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterates over the bits, head first.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { stream: self, idx: 0, back: self.len }
+    }
+
+    /// Collects the bits into a `Vec<bool>`.
+    pub fn to_vec(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Concatenates `self` and `other` into a new stream (`self` first).
+    pub fn concat(&self, other: &Bitstream) -> Bitstream {
+        let mut bits = Vec::with_capacity(self.len + other.len);
+        bits.extend(self.iter());
+        bits.extend(other.iter());
+        Bitstream::from_bits(bits)
+    }
+
+    /// Concatenates many streams in order.
+    pub fn concat_all<'a, I: IntoIterator<Item = &'a Bitstream>>(streams: I) -> Bitstream {
+        let mut bits = Vec::new();
+        for s in streams {
+            bits.extend(s.iter());
+        }
+        Bitstream::from_bits(bits)
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn and(&self, other: &Bitstream) -> Result<Bitstream, ScError> {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn or(&self, other: &Bitstream) -> Result<Bitstream, ScError> {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn xor(&self, other: &Bitstream) -> Result<Bitstream, ScError> {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise XNOR (the bipolar SC multiplier gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn xnor(&self, other: &Bitstream) -> Result<Bitstream, ScError> {
+        let mut out = self.zip_words(other, |a, b| !(a ^ b))?;
+        out.mask_tail();
+        Ok(out)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bitstream {
+        let mut out = Bitstream {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Sorts the bits so all 1s come first (thermometer normal form).
+    ///
+    /// This is the *behavioural* equivalent of pushing the stream through a
+    /// bitonic sorting network; [`crate::bsn`] provides the structural model.
+    pub fn sort_ones_first(&self) -> Bitstream {
+        let ones = self.count_ones();
+        Bitstream::from_fn(self.len, |i| i < ones)
+    }
+
+    /// True if all 1s precede all 0s.
+    pub fn is_sorted_ones_first(&self) -> bool {
+        let ones = self.count_ones();
+        (0..self.len).all(|i| self.get(i) == (i < ones))
+    }
+
+    /// Keeps every `stride`-th bit starting at `phase` (`phase < stride`).
+    ///
+    /// This is the raw mechanism of the re-scaling blocks; see
+    /// [`crate::rescale`] for the value-level semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `phase >= stride`.
+    pub fn subsample(&self, stride: usize, phase: usize) -> Bitstream {
+        assert!(stride > 0, "stride must be positive");
+        assert!(phase < stride, "phase {phase} must be < stride {stride}");
+        let bits: Vec<bool> =
+            (0..self.len).filter(|i| i % stride == phase).map(|i| self.get(i)).collect();
+        Bitstream::from_bits(bits)
+    }
+
+    fn zip_words<F: Fn(u64, u64) -> u64>(
+        &self,
+        other: &Bitstream,
+        f: F,
+    ) -> Result<Bitstream, ScError> {
+        if self.len != other.len {
+            return Err(ScError::LengthMismatch { left: self.len, right: other.len });
+        }
+        Ok(Bitstream {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    fn mask_tail(&mut self) {
+        let extra = self.words.len() * WORD_BITS - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitstream({self})")
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Bitstream {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Bitstream::from_bits(iter)
+    }
+}
+
+/// Iterator over the bits of a [`Bitstream`], head first.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    stream: &'a Bitstream,
+    idx: usize,
+    back: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.idx < self.back {
+            let b = self.stream.get(self.idx);
+            self.idx += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.back - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl DoubleEndedIterator for Iter<'_> {
+    fn next_back(&mut self) -> Option<bool> {
+        if self.idx < self.back {
+            self.back -= 1;
+            Some(self.stream.get(self.back))
+        } else {
+            None
+        }
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a Bitstream {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitstream::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitstream::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!((o.frac_ones() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut s = Bitstream::zeros(130);
+        s.set(0, true);
+        s.set(64, true);
+        s.set(129, true);
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.get(64));
+        assert!(!s.flip(64));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitstream::zeros(4).get(4);
+    }
+
+    #[test]
+    fn from_str_binary_roundtrip() {
+        let s = Bitstream::from_str_binary("1101001").unwrap();
+        assert_eq!(s.to_string(), "1101001");
+        assert_eq!(s.count_ones(), 4);
+        assert!(Bitstream::from_str_binary("10x1").is_err());
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Bitstream::from_str_binary("1100").unwrap();
+        let b = Bitstream::from_str_binary("1010").unwrap();
+        assert_eq!(a.and(&b).unwrap().to_string(), "1000");
+        assert_eq!(a.or(&b).unwrap().to_string(), "1110");
+        assert_eq!(a.xor(&b).unwrap().to_string(), "0110");
+        assert_eq!(a.xnor(&b).unwrap().to_string(), "1001");
+        assert_eq!(a.not().to_string(), "0011");
+    }
+
+    #[test]
+    fn xnor_masks_tail_bits() {
+        // XNOR of equal streams is all ones; the packed tail must stay masked
+        // so popcount remains exact.
+        let a = Bitstream::from_bits(vec![true; 65]);
+        let x = a.xnor(&a).unwrap();
+        assert_eq!(x.count_ones(), 65);
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let a = Bitstream::zeros(4);
+        let b = Bitstream::zeros(5);
+        assert_eq!(
+            a.and(&b).unwrap_err(),
+            ScError::LengthMismatch { left: 4, right: 5 }
+        );
+    }
+
+    #[test]
+    fn concat_preserves_order_and_count() {
+        let a = Bitstream::from_str_binary("110").unwrap();
+        let b = Bitstream::from_str_binary("01").unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.to_string(), "11001");
+        let all = Bitstream::concat_all([&a, &b, &a]);
+        assert_eq!(all.len(), 8);
+        assert_eq!(all.count_ones(), 5);
+    }
+
+    #[test]
+    fn sort_ones_first_works() {
+        let s = Bitstream::from_str_binary("010110").unwrap();
+        let sorted = s.sort_ones_first();
+        assert_eq!(sorted.to_string(), "111000");
+        assert!(sorted.is_sorted_ones_first());
+        assert!(!s.is_sorted_ones_first());
+        assert_eq!(sorted.count_ones(), s.count_ones());
+    }
+
+    #[test]
+    fn subsample_takes_strided_bits() {
+        let s = Bitstream::from_str_binary("10110100").unwrap();
+        assert_eq!(s.subsample(2, 0).to_string(), "1100");
+        assert_eq!(s.subsample(2, 1).to_string(), "0110");
+        assert_eq!(s.subsample(4, 3).to_string(), "10");
+    }
+
+    #[test]
+    fn iterator_yields_all_bits() {
+        let s = Bitstream::from_str_binary("1010").unwrap();
+        let v: Vec<bool> = s.iter().collect();
+        assert_eq!(v, vec![true, false, true, false]);
+        assert_eq!(s.iter().len(), 4);
+        let collected: Bitstream = v.into_iter().collect();
+        assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn display_debug_nonempty() {
+        let s = Bitstream::zeros(0);
+        assert_eq!(format!("{s:?}"), "Bitstream()");
+    }
+}

@@ -1,0 +1,298 @@
+//! Bitonic sorting networks (BSNs) over bits.
+//!
+//! The deterministic SC pipeline adds thermometer streams by *concatenating*
+//! them and re-sorting the bits so all 1s come first (paper §II-A, \[5\]).
+//! For single bits a compare-and-swap (CAS) element is just an OR gate (max)
+//! plus an AND gate (min), so a BSN is cheap combinational logic; its size is
+//! what the [`sc-hw`](../sc_hw) cost model counts.
+//!
+//! [`BitonicNetwork`] builds the explicit CAS schedule (also consumed by the
+//! hardware model), applies it to bitstreams, and [`add`] implements the BSN
+//! adder over [`ThermStream`]s.
+
+use crate::therm::ThermStream;
+use crate::{Bitstream, ScError};
+
+/// An explicit bitonic sorting network for `n` inputs (padded to a power of
+/// two internally), sorting 1s to the front.
+///
+/// ```
+/// use sc_core::bsn::BitonicNetwork;
+/// use sc_core::Bitstream;
+///
+/// let net = BitonicNetwork::new(8);
+/// let sorted = net.sort(&Bitstream::from_str_binary("01011010")?);
+/// assert_eq!(sorted.to_string(), "11110000");
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitonicNetwork {
+    n: usize,
+    padded: usize,
+    /// `stages[s]` is the list of CAS pairs `(i, j)` with `i < j` executed in
+    /// parallel at stage `s`; the max lands on `i` (1s first).
+    stages: Vec<Vec<(usize, usize)>>,
+}
+
+impl BitonicNetwork {
+    /// Builds the network for `n` inputs.
+    ///
+    /// `n` is padded up to the next power of two; the padding wires carry
+    /// constant 0s and sort to the tail, so the first `n` outputs are the
+    /// sorted inputs.
+    pub fn new(n: usize) -> Self {
+        let padded = n.next_power_of_two().max(1);
+        let mut stages = Vec::new();
+        // Standard iterative bitonic sort. `k` is the size of the bitonic
+        // sequences being merged, `j` the comparison distance.
+        let mut k = 2;
+        while k <= padded {
+            let mut j = k / 2;
+            while j >= 1 {
+                let mut stage = Vec::new();
+                for i in 0..padded {
+                    let l = i ^ j;
+                    if l > i {
+                        // Ascending blocks become descending (1s first) by
+                        // flipping the direction test.
+                        if (i & k) == 0 {
+                            stage.push((i, l));
+                        } else {
+                            stage.push((l, i));
+                        }
+                    }
+                }
+                // Normalize pairs to (min_index, max_index, direction): we
+                // store (hi_target, lo_target) implicitly by order: max goes
+                // to the first element of the tuple.
+                stages.push(stage);
+                j /= 2;
+            }
+            k *= 2;
+        }
+        BitonicNetwork { n, padded, stages }
+    }
+
+    /// Number of (unpadded) inputs.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of wires after power-of-two padding.
+    pub fn padded_inputs(&self) -> usize {
+        self.padded
+    }
+
+    /// Total number of compare-and-swap elements.
+    pub fn cas_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Circuit depth in CAS stages: `log₂(p)·(log₂(p)+1)/2` for `p` wires.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The CAS schedule, exposed for hardware costing and for tests.
+    pub fn stages(&self) -> &[Vec<(usize, usize)>] {
+        &self.stages
+    }
+
+    /// Sorts a bitstream of exactly `inputs()` bits, 1s first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.inputs()`.
+    pub fn sort(&self, bits: &Bitstream) -> Bitstream {
+        assert_eq!(
+            bits.len(),
+            self.n,
+            "network sized for {} inputs, got {}",
+            self.n,
+            bits.len()
+        );
+        let mut v = vec![false; self.padded];
+        for (i, b) in bits.iter().enumerate() {
+            v[i] = b;
+        }
+        for stage in &self.stages {
+            for &(hi, lo) in stage {
+                // max (OR) to `hi`, min (AND) to `lo` — 1s first ordering on
+                // the wire pair.
+                let a = v[hi];
+                let b = v[lo];
+                v[hi] = a | b;
+                v[lo] = a & b;
+            }
+        }
+        Bitstream::from_bits(v.into_iter().take(self.n))
+    }
+}
+
+/// Adds thermometer streams with a BSN: concatenate, then sort (paper §II-A).
+///
+/// All operands must share one scale `α`; the sum has level `Σ qᵢ`, length
+/// `Σ Lᵢ` and the same scale, so the result is exact (no saturation).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `streams` is empty or scales differ
+/// by more than 1 part in 10⁹.
+///
+/// ```
+/// use sc_core::{bsn, ThermStream};
+///
+/// let a = ThermStream::from_level(3, 8, 0.5)?;
+/// let b = ThermStream::from_level(-1, 8, 0.5)?;
+/// let sum = bsn::add(&[&a, &b])?;
+/// assert_eq!(sum.level(), 2);
+/// assert_eq!(sum.len(), 16);
+/// assert!(sum.is_normalized());
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+pub fn add(streams: &[&ThermStream]) -> Result<ThermStream, ScError> {
+    let first = streams.first().ok_or(ScError::InvalidParam {
+        name: "streams",
+        reason: "at least one stream required".into(),
+    })?;
+    let scale = first.scale();
+    for s in streams {
+        if (s.scale() - scale).abs() > 1e-9 * scale.abs().max(1.0) {
+            return Err(ScError::InvalidParam {
+                name: "streams",
+                reason: format!(
+                    "scale mismatch: {} vs {} (re-scale operands first)",
+                    scale,
+                    s.scale()
+                ),
+            });
+        }
+    }
+    let concat = Bitstream::concat_all(streams.iter().map(|s| s.bits()));
+    // Behavioural sort: property-tested equal to pushing the bits through a
+    // BitonicNetwork (see `add_via_network` and the property suite), but
+    // O(n) instead of O(n log² n) — the DSE sweeps call this in a hot loop.
+    ThermStream::new(concat.sort_ones_first(), scale)
+}
+
+/// [`add`] routed through an explicit [`BitonicNetwork`] — the structural
+/// model. Used by tests and the hardware-cost calibration; produces
+/// bit-identical results to [`add`].
+///
+/// # Errors
+///
+/// Same conditions as [`add`].
+pub fn add_via_network(streams: &[&ThermStream]) -> Result<ThermStream, ScError> {
+    let first = streams.first().ok_or(ScError::InvalidParam {
+        name: "streams",
+        reason: "at least one stream required".into(),
+    })?;
+    let scale = first.scale();
+    for s in streams {
+        if (s.scale() - scale).abs() > 1e-9 * scale.abs().max(1.0) {
+            return Err(ScError::InvalidParam {
+                name: "streams",
+                reason: format!("scale mismatch: {} vs {}", scale, s.scale()),
+            });
+        }
+    }
+    let concat = Bitstream::concat_all(streams.iter().map(|s| s.bits()));
+    let net = BitonicNetwork::new(concat.len());
+    ThermStream::new(net.sort(&concat), scale)
+}
+
+/// Subtracts `b` from `a` (`a + (−b)` via bitwise NOT, then BSN add).
+///
+/// # Errors
+///
+/// Same conditions as [`add`].
+pub fn sub(a: &ThermStream, b: &ThermStream) -> Result<ThermStream, ScError> {
+    let nb = b.negate();
+    add(&[a, &nb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_eight_bit_patterns() {
+        let net = BitonicNetwork::new(8);
+        for pattern in 0u32..256 {
+            let bits = Bitstream::from_fn(8, |i| (pattern >> i) & 1 == 1);
+            let sorted = net.sort(&bits);
+            assert!(sorted.is_sorted_ones_first(), "pattern {pattern:#010b}");
+            assert_eq!(sorted.count_ones(), bits.count_ones(), "pattern {pattern:#010b}");
+        }
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_inputs() {
+        let net = BitonicNetwork::new(6);
+        assert_eq!(net.padded_inputs(), 8);
+        for pattern in 0u32..64 {
+            let bits = Bitstream::from_fn(6, |i| (pattern >> i) & 1 == 1);
+            let sorted = net.sort(&bits);
+            assert!(sorted.is_sorted_ones_first());
+            assert_eq!(sorted.count_ones(), bits.count_ones());
+        }
+    }
+
+    #[test]
+    fn structural_counts_match_theory() {
+        // For p = 2^k wires: depth = k(k+1)/2 stages, CAS = p/2 per stage.
+        let net = BitonicNetwork::new(16);
+        assert_eq!(net.depth(), 4 * 5 / 2);
+        assert_eq!(net.cas_count(), net.depth() * 16 / 2);
+    }
+
+    #[test]
+    fn add_is_exact_integer_addition() {
+        for qa in -2..=2i64 {
+            for qb in -4..=4i64 {
+                let a = ThermStream::from_level(qa, 4, 1.0).unwrap();
+                let b = ThermStream::from_level(qb, 8, 1.0).unwrap();
+                let sum = add(&[&a, &b]).unwrap();
+                assert_eq!(sum.level(), qa + qb);
+                assert_eq!(sum.len(), 12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_rejects_scale_mismatch_and_empty() {
+        let a = ThermStream::from_level(1, 4, 1.0).unwrap();
+        let b = ThermStream::from_level(1, 4, 0.5).unwrap();
+        assert!(add(&[&a, &b]).is_err());
+        assert!(add(&[]).is_err());
+    }
+
+    #[test]
+    fn add_and_add_via_network_agree() {
+        for qa in -2..=2i64 {
+            for qb in -4..=4i64 {
+                let a = ThermStream::from_level(qa, 4, 1.0).unwrap();
+                let b = ThermStream::from_level(qb, 8, 1.0).unwrap();
+                let fast = add(&[&a, &b]).unwrap();
+                let structural = add_via_network(&[&a, &b]).unwrap();
+                assert_eq!(fast.bits(), structural.bits());
+            }
+        }
+        assert!(add_via_network(&[]).is_err());
+    }
+
+    #[test]
+    fn sub_matches_level_arithmetic() {
+        let a = ThermStream::from_level(3, 8, 0.5).unwrap();
+        let b = ThermStream::from_level(5, 16, 0.5).unwrap();
+        let d = sub(&a, &b).unwrap();
+        assert_eq!(d.level(), -2);
+        assert!((d.value() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "network sized for")]
+    fn sort_checks_length() {
+        BitonicNetwork::new(8).sort(&Bitstream::zeros(4));
+    }
+}

@@ -1,0 +1,268 @@
+//! Value ⇄ bitstream codecs for the three SC encodings (paper §II-A).
+
+use crate::sng::RandomSource;
+use crate::therm::ThermStream;
+use crate::{Bitstream, ScError};
+
+/// Unipolar encoding: value `p ∈ [0, 1]` is the probability of 1s.
+///
+/// ```
+/// use sc_core::encoding::Unipolar;
+/// use sc_core::sng::Lfsr;
+///
+/// let enc = Unipolar::new(256);
+/// let mut sng = Lfsr::new(8, 1)?;
+/// let s = enc.encode(0.25, &mut sng)?;
+/// assert!((enc.decode(&s) - 0.25).abs() < 0.05);
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unipolar {
+    len: usize,
+}
+
+impl Unipolar {
+    /// Creates a codec producing `len`-bit streams.
+    pub fn new(len: usize) -> Self {
+        Unipolar { len }
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the codec produces empty streams.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encodes probability `p` using the supplied random source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `p ∉ [0, 1]`.
+    pub fn encode<R: RandomSource>(&self, p: f64, source: &mut R) -> Result<Bitstream, ScError> {
+        source.bitstream(p, self.len)
+    }
+
+    /// Decodes a stream to its fraction of ones.
+    pub fn decode(&self, s: &Bitstream) -> f64 {
+        s.frac_ones()
+    }
+}
+
+/// Bipolar encoding: value `v ∈ [−1, 1]` is `2p − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bipolar {
+    len: usize,
+}
+
+impl Bipolar {
+    /// Creates a codec producing `len`-bit streams.
+    pub fn new(len: usize) -> Self {
+        Bipolar { len }
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the codec produces empty streams.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encodes value `v` using the supplied random source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `v ∉ [−1, 1]`.
+    pub fn encode<R: RandomSource>(&self, v: f64, source: &mut R) -> Result<Bitstream, ScError> {
+        if !(-1.0..=1.0).contains(&v) {
+            return Err(ScError::ValueOutOfRange { value: v, min: -1.0, max: 1.0 });
+        }
+        source.bitstream((v + 1.0) / 2.0, self.len)
+    }
+
+    /// Decodes a stream to `2·frac_ones − 1`.
+    pub fn decode(&self, s: &Bitstream) -> f64 {
+        2.0 * s.frac_ones() - 1.0
+    }
+}
+
+/// Deterministic thermometer encoding: `x = α·x_q`, `x_q ∈ [−L/2, L/2]`.
+///
+/// This is the encoding ASCEND's end-to-end pipeline uses. Encoding is
+/// deterministic (no SNG): the quantized level sets the run of leading 1s.
+///
+/// ```
+/// use sc_core::encoding::Thermometer;
+///
+/// let enc = Thermometer::new(16, 0.125)?;
+/// let x = enc.encode(-0.5);
+/// assert_eq!(x.level(), -4);
+/// assert!((enc.decode(&x) + 0.5).abs() < 1e-12);
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thermometer {
+    len: usize,
+    scale: f64,
+}
+
+impl Thermometer {
+    /// Creates a codec for `len`-bit streams (even, non-zero) at scale `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] for odd/zero `len` or a scale that
+    /// is not finite and positive.
+    pub fn new(len: usize, scale: f64) -> Result<Self, ScError> {
+        if len == 0 || len % 2 != 0 {
+            return Err(ScError::InvalidParam {
+                name: "len",
+                reason: format!("thermometer length must be even and non-zero, got {len}"),
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ScError::InvalidParam {
+                name: "scale",
+                reason: format!("scale must be finite and positive, got {scale}"),
+            });
+        }
+        Ok(Thermometer { len, scale })
+    }
+
+    /// Builds the codec that covers `[−max_abs, max_abs]` with a given BSL.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Thermometer::new`].
+    pub fn with_range(len: usize, max_abs: f64) -> Result<Self, ScError> {
+        if len == 0 || len % 2 != 0 {
+            return Err(ScError::InvalidParam {
+                name: "len",
+                reason: format!("thermometer length must be even and non-zero, got {len}"),
+            });
+        }
+        Self::new(len, max_abs / (len as f64 / 2.0))
+    }
+
+    /// Stream length (BSL).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the codec produces empty streams (never true; kept for the
+    /// `len`/`is_empty` API pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scaling factor `α`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Largest representable magnitude `α·L/2`.
+    pub fn max_abs(&self) -> f64 {
+        self.scale * (self.len / 2) as f64
+    }
+
+    /// Number of representable levels (`L + 1`).
+    pub fn levels(&self) -> usize {
+        self.len + 1
+    }
+
+    /// Encodes `x`, rounding to the nearest level and clamping to range.
+    pub fn encode(&self, x: f64) -> ThermStream {
+        ThermStream::encode_clamped(x, self.len, self.scale)
+    }
+
+    /// Encodes `x` exactly if it is on-grid and in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `|x| > max_abs`, and
+    /// [`ScError::InvalidParam`] if `x` is not an integer multiple of `α`.
+    pub fn encode_exact(&self, x: f64) -> Result<ThermStream, ScError> {
+        let q = x / self.scale;
+        if (q - q.round()).abs() > 1e-9 {
+            return Err(ScError::InvalidParam {
+                name: "x",
+                reason: format!("{x} is not a multiple of scale {}", self.scale),
+            });
+        }
+        ThermStream::from_level(q.round() as i64, self.len, self.scale)
+    }
+
+    /// Decodes a stream produced by (any codec compatible with) this one.
+    pub fn decode(&self, s: &ThermStream) -> f64 {
+        s.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::{Lfsr, VanDerCorput};
+
+    #[test]
+    fn unipolar_roundtrip_statistics() {
+        let enc = Unipolar::new(1023);
+        let mut sng = Lfsr::new(10, 5).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let s = enc.encode(p, &mut sng).unwrap();
+            assert!((enc.decode(&s) - p).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn bipolar_roundtrip_statistics() {
+        let enc = Bipolar::new(2048);
+        let mut sng = VanDerCorput::new(16).unwrap();
+        for &v in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let s = enc.encode(v, &mut sng).unwrap();
+            assert!((enc.decode(&s) - v).abs() < 0.01, "v={v}");
+        }
+        assert!(enc.encode(1.5, &mut sng).is_err());
+    }
+
+    #[test]
+    fn thermometer_validation() {
+        assert!(Thermometer::new(0, 1.0).is_err());
+        assert!(Thermometer::new(3, 1.0).is_err());
+        assert!(Thermometer::new(4, 0.0).is_err());
+        assert!(Thermometer::new(4, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn thermometer_with_range() {
+        let enc = Thermometer::with_range(8, 2.0).unwrap();
+        assert!((enc.scale() - 0.5).abs() < 1e-12);
+        assert!((enc.max_abs() - 2.0).abs() < 1e-12);
+        assert_eq!(enc.levels(), 9);
+    }
+
+    #[test]
+    fn thermometer_exact_encode_rejects_off_grid() {
+        let enc = Thermometer::new(8, 0.5).unwrap();
+        assert!(enc.encode_exact(0.75).is_err());
+        assert!(enc.encode_exact(3.0).is_err()); // out of range (max 2.0)
+        let s = enc.encode_exact(1.5).unwrap();
+        assert_eq!(s.level(), 3);
+    }
+
+    #[test]
+    fn thermometer_encode_decode_grid() {
+        let enc = Thermometer::new(16, 0.25).unwrap();
+        for q in -8..=8i64 {
+            let x = q as f64 * 0.25;
+            let s = enc.encode(x);
+            assert_eq!(s.level(), q);
+            assert!((enc.decode(&s) - x).abs() < 1e-12);
+        }
+    }
+}

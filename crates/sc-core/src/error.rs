@@ -1,0 +1,83 @@
+//! Error type shared by all fallible `sc-core` APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by stochastic-computing primitives.
+///
+/// ```
+/// use sc_core::encoding::Thermometer;
+/// use sc_core::ScError;
+///
+/// let err = Thermometer::new(0, 1.0).unwrap_err();
+/// assert!(matches!(err, ScError::InvalidParam { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScError {
+    /// Two bitstreams that must have equal length do not.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A value does not fit the representable range of an encoding.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the representable range.
+        min: f64,
+        /// Upper bound of the representable range.
+        max: f64,
+    },
+    /// A constructor or operation parameter is invalid.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::LengthMismatch { left, right } => {
+                write!(f, "bitstream length mismatch: {left} vs {right}")
+            }
+            ScError::ValueOutOfRange { value, min, max } => {
+                write!(f, "value {value} outside representable range [{min}, {max}]")
+            }
+            ScError::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ScError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            ScError::LengthMismatch { left: 4, right: 8 },
+            ScError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
+            ScError::InvalidParam { name: "len", reason: "must be even".into() },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScError>();
+    }
+}

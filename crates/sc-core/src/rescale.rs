@@ -1,0 +1,399 @@
+//! Re-scaling blocks: scale-factor alignment by bit sub-sampling (\[15\]).
+//!
+//! A thermometer value `α·q` with BSL `L` can be converted to scale `α·s`
+//! with BSL `L/s` by keeping one bit out of every `s` — on a *sorted* stream
+//! this divides the level by `s` with a rounding behaviour set by which bit
+//! of each group is kept ([`RescaleMode`]). This is the only lossy step in
+//! the deterministic pipeline, and the knob the iterative-softmax design
+//! space sweeps (`s1`, `s2` in paper Table II).
+
+use crate::therm::ThermStream;
+use crate::ScError;
+
+/// Which bit of each `s`-group the sub-sampler taps, fixing the rounding of
+/// the implied division by `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RescaleMode {
+    /// Tap the last bit (phase `s−1`): `count' = ⌊ones/s⌋` — floors.
+    Floor,
+    /// Tap the middle bit (phase `⌈s/2⌉−1`): rounds to nearest.
+    #[default]
+    Round,
+    /// Tap the first bit (phase `0`): `count' = ⌈ones/s⌉` — ceils.
+    Ceil,
+}
+
+impl RescaleMode {
+    /// The tap phase within each group of `s` bits.
+    pub fn phase(self, s: usize) -> usize {
+        match self {
+            RescaleMode::Floor => s - 1,
+            RescaleMode::Round => s.div_ceil(2) - 1,
+            RescaleMode::Ceil => 0,
+        }
+    }
+}
+
+/// Sub-samples a thermometer stream by `s`, multiplying the scale by `s`.
+///
+/// The input is normalized (sorted) first, as the hardware block sits behind
+/// a BSN. The output length is `L/s` and the output level approximates
+/// `q/s`; the *value* is approximately preserved with a quantization error
+/// bounded by one output LSB (`α·s`).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `s` is zero, does not divide `L`, or
+/// leaves an odd output length.
+///
+/// ```
+/// use sc_core::rescale::{rescale, RescaleMode};
+/// use sc_core::ThermStream;
+///
+/// let x = ThermStream::from_level(6, 16, 0.25)?;           // value 1.5
+/// let y = rescale(&x, 4, RescaleMode::Round)?;             // BSL 16 → 4
+/// assert_eq!(y.len(), 4);
+/// assert!((y.scale() - 1.0).abs() < 1e-12);
+/// assert!((y.value() - 1.5).abs() <= 1.0);                 // within 1 LSB
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+pub fn rescale(x: &ThermStream, s: usize, mode: RescaleMode) -> Result<ThermStream, ScError> {
+    if s == 0 {
+        return Err(ScError::InvalidParam { name: "s", reason: "sub-sample rate must be non-zero".into() });
+    }
+    if s == 1 {
+        return Ok(x.clone());
+    }
+    if x.len() % s != 0 {
+        return Err(ScError::InvalidParam {
+            name: "s",
+            reason: format!("rate {s} does not divide BSL {}", x.len()),
+        });
+    }
+    let out_len = x.len() / s;
+    if out_len == 0 || out_len % 2 != 0 {
+        return Err(ScError::InvalidParam {
+            name: "s",
+            reason: format!("rate {s} leaves an odd/zero output BSL {out_len}"),
+        });
+    }
+    let sorted = x.normalized();
+    let bits = sorted.bits().subsample(s, mode.phase(s));
+    ThermStream::new(bits, x.scale() * s as f64)
+}
+
+/// Re-scales by a rational factor `v/u`: replicate each bit `u` times (wire
+/// fan-out, value-preserving once the scale is divided by `u`), then
+/// sub-sample by `v`.
+///
+/// Net effect: scale × `v/u`, length × `u/v`, value preserved to within one
+/// output LSB. This is how the iterative-softmax datapath aligns the
+/// `z_i/k` and `y·sum(z)/k` terms onto the `α_y` grid before BSN② (paper
+/// Fig. 5's re-scaling blocks, generalized to non-integer ratios).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `u` or `v` is zero, if `v` does not
+/// divide `len·u`, or if the output length would be odd or zero.
+pub fn rescale_rational(
+    x: &ThermStream,
+    u: usize,
+    v: usize,
+    mode: RescaleMode,
+) -> Result<ThermStream, ScError> {
+    if u == 0 || v == 0 {
+        return Err(ScError::InvalidParam {
+            name: "u/v",
+            reason: "rational rescale factors must be non-zero".into(),
+        });
+    }
+    // Replicate: level ×u and length ×u at constant scale, then divide the
+    // scale by u so the value is preserved.
+    let replicated = if u == 1 {
+        x.clone()
+    } else {
+        crate::ttmul::mul_const(x, u as u32)?.with_scale(x.scale() / u as f64)?
+    };
+    rescale(&replicated, v, mode)
+}
+
+/// Saturating truncation: keeps the central `out_len` bits of the sorted
+/// stream, clamping the level to `[−out_len/2, out_len/2]` at constant scale.
+///
+/// On a sorted stream of length `N` with `c` ones, the window starting at
+/// `(N − out_len)/2` has popcount `clamp(c − (N−out_len)/2, 0, out_len)`,
+/// which is exactly level saturation — the hardware is pure wiring.
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `out_len` is zero, odd, larger than
+/// the input, or of different parity than the input length.
+pub fn truncate_center(x: &ThermStream, out_len: usize) -> Result<ThermStream, ScError> {
+    if out_len == 0 || out_len % 2 != 0 {
+        return Err(ScError::InvalidParam {
+            name: "out_len",
+            reason: format!("output length must be even and non-zero, got {out_len}"),
+        });
+    }
+    if out_len > x.len() || (x.len() - out_len) % 2 != 0 {
+        return Err(ScError::InvalidParam {
+            name: "out_len",
+            reason: format!("cannot center a {out_len}-bit window in a {}-bit stream", x.len()),
+        });
+    }
+    let sorted = x.normalized();
+    let start = (x.len() - out_len) / 2;
+    let bits =
+        crate::Bitstream::from_fn(out_len, |i| sorted.bits().get(start + i));
+    ThermStream::new(bits, x.scale())
+}
+
+/// General tap resampler: re-expresses a sorted thermometer stream with
+/// `out_len` output taps, each wired to one input bit position.
+///
+/// The output scale is `α·L/L'` (value preserved up to tap quantization).
+/// Unlike [`rescale`], `out_len` need not divide the input length, and may
+/// even exceed it (taps then duplicate input bits — replication by wiring).
+/// This is the fully general form of the re-scaling block of \[15\].
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `out_len` is zero or odd, or the
+/// input is empty.
+pub fn resample(x: &ThermStream, out_len: usize, mode: RescaleMode) -> Result<ThermStream, ScError> {
+    if out_len == 0 || out_len % 2 != 0 {
+        return Err(ScError::InvalidParam {
+            name: "out_len",
+            reason: format!("output length must be even and non-zero, got {out_len}"),
+        });
+    }
+    let l = x.len();
+    if l == 0 {
+        return Err(ScError::InvalidParam {
+            name: "x",
+            reason: "cannot resample an empty stream".into(),
+        });
+    }
+    let sorted = x.normalized();
+    let bits = crate::Bitstream::from_fn(out_len, |j| {
+        // Tap position inside group j of out_len equal real-width groups.
+        let pos = match mode {
+            RescaleMode::Floor => ((j + 1) * l - 1) / out_len,
+            RescaleMode::Round => ((2 * j + 1) * l) / (2 * out_len),
+            RescaleMode::Ceil => (j * l + out_len - 1) / out_len,
+        }
+        .min(l - 1);
+        sorted.bits().get(pos)
+    });
+    ThermStream::new(bits, x.scale() * l as f64 / out_len as f64)
+}
+
+/// Aligns a stream onto an exact `target` scale with the nearest feasible
+/// tap count, absorbing any residual into a *gain error*.
+///
+/// The feasible output scales of a resampler are `α·L/L'` for even `L'`;
+/// when `α·L/target` is not an even integer the nearest one is used and the
+/// output is re-labelled with `target`, distorting values by the ratio
+/// `(α·L/L')/target` (at most ~`1/L'` relative). This mirrors what the
+/// hardware does when the scale grids of two datapath legs do not divide
+/// evenly (e.g. `k = 3` against power-of-two `α`s) and is part of the
+/// design-space error the DSE explores.
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `target` is not finite and positive
+/// or the input is empty.
+pub fn align_scale(
+    x: &ThermStream,
+    target: f64,
+    mode: RescaleMode,
+) -> Result<ThermStream, ScError> {
+    if !(target.is_finite() && target > 0.0) {
+        return Err(ScError::InvalidParam {
+            name: "target",
+            reason: format!("target scale must be finite and positive, got {target}"),
+        });
+    }
+    let ideal = x.scale() * x.len() as f64 / target;
+    let mut out_len = (ideal / 2.0).round() as usize * 2;
+    if out_len < 2 {
+        out_len = 2;
+    }
+    let resampled = resample(x, out_len, mode)?;
+    resampled.with_scale(target)
+}
+
+/// Aligns a stream to a target `(len, scale)` pair, sub-sampling when the
+/// stream is longer and erroring when alignment is impossible.
+///
+/// The target scale must equal `x.scale() · (x.len() / len)` (re-scaling
+/// cannot change the represented range, only the resolution).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] when `len` does not divide `x.len()` or
+/// the implied scale disagrees with `scale` by more than 1 part in 10⁶.
+pub fn align_to(
+    x: &ThermStream,
+    len: usize,
+    scale: f64,
+    mode: RescaleMode,
+) -> Result<ThermStream, ScError> {
+    if len == 0 || x.len() % len != 0 {
+        return Err(ScError::InvalidParam {
+            name: "len",
+            reason: format!("target BSL {len} does not divide source BSL {}", x.len()),
+        });
+    }
+    let s = x.len() / len;
+    let implied = x.scale() * s as f64;
+    if (implied - scale).abs() > 1e-6 * scale.abs().max(1.0) {
+        return Err(ScError::InvalidParam {
+            name: "scale",
+            reason: format!("target scale {scale} incompatible with implied scale {implied}"),
+        });
+    }
+    rescale(x, s, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_mode_floors_division() {
+        // ones = L/2 + q; floor mode keeps count' = floor(ones / s).
+        for q in -8..=8i64 {
+            let x = ThermStream::from_level(q, 16, 1.0).unwrap();
+            let y = rescale(&x, 4, RescaleMode::Floor).unwrap();
+            let ones = (q + 8) as usize;
+            let expect = (ones / 4) as i64 - 2;
+            assert_eq!(y.level(), expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn ceil_mode_ceils_division() {
+        for q in -8..=8i64 {
+            let x = ThermStream::from_level(q, 16, 1.0).unwrap();
+            let y = rescale(&x, 4, RescaleMode::Ceil).unwrap();
+            let ones = (q + 8) as usize;
+            let expect = (ones as f64 / 4.0).ceil() as i64 - 2;
+            assert_eq!(y.level(), expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn value_preserved_within_one_output_lsb() {
+        for mode in [RescaleMode::Floor, RescaleMode::Round, RescaleMode::Ceil] {
+            for q in -32..=32i64 {
+                let x = ThermStream::from_level(q, 64, 0.125).unwrap();
+                let y = rescale(&x, 8, mode).unwrap();
+                assert!(
+                    (y.value() - x.value()).abs() <= y.scale() + 1e-12,
+                    "mode {mode:?} q {q}: {} vs {}",
+                    y.value(),
+                    x.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_mode_has_smallest_worst_case_error() {
+        let worst = |mode: RescaleMode| -> f64 {
+            (-32..=32i64)
+                .map(|q| {
+                    let x = ThermStream::from_level(q, 64, 1.0).unwrap();
+                    let y = rescale(&x, 8, mode).unwrap();
+                    (y.value() - x.value()).abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(worst(RescaleMode::Round) <= worst(RescaleMode::Floor));
+        assert!(worst(RescaleMode::Round) <= worst(RescaleMode::Ceil));
+    }
+
+    #[test]
+    fn s_equal_one_is_identity() {
+        let x = ThermStream::from_level(3, 8, 0.5).unwrap();
+        let y = rescale(&x, 1, RescaleMode::Round).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let x = ThermStream::from_level(3, 8, 0.5).unwrap();
+        assert!(rescale(&x, 0, RescaleMode::Round).is_err());
+        assert!(rescale(&x, 3, RescaleMode::Round).is_err()); // 3 ∤ 8
+        assert!(rescale(&x, 8, RescaleMode::Round).is_err()); // odd output (1)
+    }
+
+    #[test]
+    fn align_to_checks_scale_compat() {
+        let x = ThermStream::from_level(6, 16, 0.25).unwrap();
+        assert!(align_to(&x, 4, 1.0, RescaleMode::Round).is_ok());
+        assert!(align_to(&x, 4, 2.0, RescaleMode::Round).is_err());
+        assert!(align_to(&x, 5, 0.8, RescaleMode::Round).is_err());
+    }
+
+    #[test]
+    fn rational_rescale_preserves_value_within_lsb() {
+        // ×(4/3): scale 1.0 → 4/3, length 16 → 12.
+        for q in -8..=8i64 {
+            let x = ThermStream::from_level(q, 16, 1.0).unwrap();
+            let y = rescale_rational(&x, 3, 4, RescaleMode::Round).unwrap();
+            assert!((y.scale() - 4.0 / 3.0).abs() < 1e-12);
+            assert_eq!(y.len(), 12);
+            assert!((y.value() - x.value()).abs() <= y.scale() + 1e-12, "q={q}");
+        }
+    }
+
+    #[test]
+    fn rational_rescale_validation() {
+        let x = ThermStream::from_level(0, 16, 1.0).unwrap();
+        assert!(rescale_rational(&x, 0, 2, RescaleMode::Round).is_err());
+        assert!(rescale_rational(&x, 2, 0, RescaleMode::Round).is_err());
+        // 16·3 = 48, v = 5 does not divide 48.
+        assert!(rescale_rational(&x, 3, 5, RescaleMode::Round).is_err());
+    }
+
+    #[test]
+    fn rational_rescale_identity() {
+        let x = ThermStream::from_level(5, 16, 0.5).unwrap();
+        let y = rescale_rational(&x, 1, 1, RescaleMode::Round).unwrap();
+        assert_eq!(y.level(), 5);
+        assert_eq!(y.len(), 16);
+    }
+
+    #[test]
+    fn truncate_center_is_exact_saturation() {
+        for q in -8..=8i64 {
+            let x = ThermStream::from_level(q, 16, 0.5).unwrap();
+            let y = truncate_center(&x, 4).unwrap();
+            assert_eq!(y.level(), q.clamp(-2, 2), "q={q}");
+            assert!((y.scale() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncate_center_validation() {
+        let x = ThermStream::from_level(0, 16, 1.0).unwrap();
+        assert!(truncate_center(&x, 0).is_err());
+        assert!(truncate_center(&x, 5).is_err());
+        assert!(truncate_center(&x, 18).is_err());
+        let odd_gap = ThermStream::from_level(0, 14, 1.0).unwrap();
+        // 14 − 4 = 10, even — fine; 14 − 12 = 2, even — fine. Same parity
+        // always holds for even/even, so this must succeed.
+        assert!(truncate_center(&odd_gap, 12).is_ok());
+    }
+
+    #[test]
+    fn unsorted_inputs_are_normalized_first() {
+        let bits = crate::Bitstream::from_str_binary("0101101001011010").unwrap();
+        let x = ThermStream::new(bits, 1.0).unwrap();
+        let y = rescale(&x, 4, RescaleMode::Round).unwrap();
+        // 8 ones of 16 → level 0; subsampled level should be 0 too.
+        assert_eq!(y.level(), 0);
+    }
+}

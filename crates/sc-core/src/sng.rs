@@ -1,0 +1,321 @@
+//! Stochastic number generators (SNGs).
+//!
+//! An SNG turns a target probability into a bitstream whose fraction of 1s
+//! approaches that probability. Hardware SNGs pair a pseudo-random source
+//! (classically an LFSR) with a comparator; low-discrepancy sources such as
+//! the van der Corput sequence trade randomness for faster convergence.
+
+use crate::{Bitstream, ScError};
+
+/// A source of pseudo-random fractions in `[0, 1)` used by comparator SNGs.
+///
+/// The trait is object-safe so heterogeneous generator banks (as needed by
+/// Bernstein-polynomial blocks, which require many independent SNGs) can be
+/// stored together.
+pub trait RandomSource {
+    /// Produces the next fraction in `[0, 1)`.
+    fn next_fraction(&mut self) -> f64;
+
+    /// Generates a bitstream of `len` bits with 1-probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `p` is outside `[0, 1]`.
+    fn bitstream(&mut self, p: f64, len: usize) -> Result<Bitstream, ScError>
+    where
+        Self: Sized,
+    {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ScError::ValueOutOfRange { value: p, min: 0.0, max: 1.0 });
+        }
+        Ok(Bitstream::from_fn(len, |_| self.next_fraction() < p))
+    }
+}
+
+/// Fibonacci linear-feedback shift register with maximal-length taps.
+///
+/// The standard hardware pseudo-random source for SC. Supports widths
+/// 3..=32; the tap sets give maximal period `2^width − 1`.
+///
+/// ```
+/// use sc_core::sng::{Lfsr, RandomSource};
+///
+/// let mut lfsr = Lfsr::new(8, 1)?;
+/// let s = lfsr.bitstream(0.5, 256)?;
+/// // An 8-bit maximal LFSR is almost perfectly balanced over a full period.
+/// let ones = s.count_ones() as f64;
+/// assert!((ones / 256.0 - 0.5).abs() < 0.05);
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    width: u32,
+    taps: u32,
+}
+
+/// Maximal-length tap masks for Fibonacci LFSRs of width 3..=32.
+///
+/// Index `w - 3` holds the tap mask for width `w`; bit `i` of the mask means
+/// "bit position i+1 (1-indexed from the LSB end) feeds the XOR".
+const MAX_LEN_TAPS: [u32; 30] = [
+    0b110,                                // 3: taps 3,2
+    0b1100,                               // 4: taps 4,3
+    0b10100,                              // 5: taps 5,3
+    0b110000,                             // 6: taps 6,5
+    0b1100000,                            // 7: taps 7,6
+    0b10111000,                           // 8: taps 8,6,5,4
+    0b100010000,                          // 9: taps 9,5
+    0b1001000000,                         // 10: taps 10,7
+    0b10100000000,                        // 11: taps 11,9
+    0b111000001000,                       // 12: taps 12,11,10,4
+    0b1110010000000,                      // 13: taps 13,12,11,8
+    0b11100000000010,                     // 14: taps 14,13,12,2
+    0b110000000000000,                    // 15: taps 15,14
+    0b1101000000001000,                   // 16: taps 16,15,13,4
+    0b10010000000000000,                  // 17: taps 17,14
+    0b100000010000000000,                 // 18: taps 18,11
+    0b1110010000000000000,                // 19: taps 19,18,17,14
+    0b10010000000000000000,               // 20: taps 20,17
+    0b101000000000000000000,              // 21: taps 21,19
+    0b1100000000000000000000,             // 22: taps 22,21
+    0b10000100000000000000000,            // 23: taps 23,18
+    0b111000010000000000000000,           // 24: taps 24,23,22,17
+    0b1001000000000000000000000,          // 25: taps 25,22
+    0b11100010000000000000000000,         // 26: taps 26,25,24,20
+    0b111001000000000000000000000,        // 27: taps 27,26,25,22
+    0b1001000000000000000000000000,       // 28: taps 28,25
+    0b10100000000000000000000000000,      // 29: taps 29,27
+    0b1110000000000000000000001000000,    // 30: taps 30,29,28,7
+    0b1001000000000000000000000000000,    // 31: taps 31,28
+    0b11100000000000000000001000000000,   // 32: taps 32,31,30,10
+];
+
+impl Lfsr {
+    /// Creates an LFSR of the given `width` (3..=32) seeded with `seed`.
+    ///
+    /// The seed is masked to the register width; a zero seed (the lock-up
+    /// state) is replaced by 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if `width` is outside 3..=32.
+    pub fn new(width: u32, seed: u32) -> Result<Self, ScError> {
+        if !(3..=32).contains(&width) {
+            return Err(ScError::InvalidParam {
+                name: "width",
+                reason: format!("LFSR width must be in 3..=32, got {width}"),
+            });
+        }
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Ok(Lfsr { state, width, taps: MAX_LEN_TAPS[(width - 3) as usize] })
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one clock and returns the new register contents.
+    pub fn step(&mut self) -> u32 {
+        let fb = (self.state & self.taps).count_ones() & 1;
+        let mask = if self.width == 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        self.state = ((self.state << 1) | fb) & mask;
+        self.state
+    }
+
+    /// Full period of the register (`2^width − 1`).
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+}
+
+impl RandomSource for Lfsr {
+    fn next_fraction(&mut self) -> f64 {
+        let v = self.step();
+        // States are in 1..=2^w − 1; map to [0, 1).
+        (v - 1) as f64 / self.period() as f64
+    }
+}
+
+/// Van der Corput low-discrepancy sequence (bit-reversed binary counter).
+///
+/// In SC hardware this is a plain counter whose output wires are reversed —
+/// far cheaper than an LFSR per stream, and with O(1/L) convergence instead
+/// of O(1/√L). Used by the deterministic baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VanDerCorput {
+    counter: u64,
+    bits: u32,
+}
+
+impl VanDerCorput {
+    /// Creates a generator with `bits` of resolution (1..=63).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if `bits` is outside 1..=63.
+    pub fn new(bits: u32) -> Result<Self, ScError> {
+        if !(1..=63).contains(&bits) {
+            return Err(ScError::InvalidParam {
+                name: "bits",
+                reason: format!("resolution must be in 1..=63, got {bits}"),
+            });
+        }
+        Ok(VanDerCorput { counter: 0, bits })
+    }
+}
+
+impl RandomSource for VanDerCorput {
+    fn next_fraction(&mut self) -> f64 {
+        let n = self.counter;
+        self.counter = (self.counter + 1) & ((1 << self.bits) - 1);
+        let rev = n.reverse_bits() >> (64 - self.bits);
+        rev as f64 / (1u64 << self.bits) as f64
+    }
+}
+
+/// A comparator-based SNG: pseudo-random source + threshold comparator.
+///
+/// This mirrors the classic hardware structure: the source drives one
+/// comparator input, the binary-coded probability the other.
+#[derive(Debug, Clone)]
+pub struct ComparatorSng<R> {
+    source: R,
+}
+
+impl<R: RandomSource> ComparatorSng<R> {
+    /// Wraps a random source.
+    pub fn new(source: R) -> Self {
+        ComparatorSng { source }
+    }
+
+    /// Generates a unipolar bitstream for probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `p ∉ [0, 1]`.
+    pub fn unipolar(&mut self, p: f64, len: usize) -> Result<Bitstream, ScError> {
+        self.source.bitstream(p, len)
+    }
+
+    /// Generates a bipolar bitstream for value `v ∈ [−1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `v ∉ [−1, 1]`.
+    pub fn bipolar(&mut self, v: f64, len: usize) -> Result<Bitstream, ScError> {
+        if !(-1.0..=1.0).contains(&v) {
+            return Err(ScError::ValueOutOfRange { value: v, min: -1.0, max: 1.0 });
+        }
+        self.source.bitstream((v + 1.0) / 2.0, len)
+    }
+
+    /// Consumes the SNG and returns the underlying source.
+    pub fn into_inner(self) -> R {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_rejects_bad_width() {
+        assert!(Lfsr::new(2, 1).is_err());
+        assert!(Lfsr::new(33, 1).is_err());
+        assert!(Lfsr::new(3, 1).is_ok());
+    }
+
+    #[test]
+    fn lfsr_zero_seed_is_fixed() {
+        let l = Lfsr::new(8, 0).unwrap();
+        assert_ne!(l.state(), 0);
+    }
+
+    /// Every supported width must actually be maximal-length: the register
+    /// must visit all 2^w − 1 non-zero states before repeating.
+    #[test]
+    fn lfsr_maximal_period_small_widths() {
+        for width in 3..=16 {
+            let mut l = Lfsr::new(width, 1).unwrap();
+            let start = l.state();
+            let mut count = 0u64;
+            loop {
+                l.step();
+                count += 1;
+                if l.state() == start {
+                    break;
+                }
+                assert!(count <= l.period(), "width {width} exceeded period without cycling");
+            }
+            assert_eq!(count, l.period(), "width {width} is not maximal-length");
+        }
+    }
+
+    /// Spot-check the wide registers too (walk a sample, ensure no zero state).
+    #[test]
+    fn lfsr_wide_widths_never_hit_zero() {
+        for width in [17, 20, 24, 28, 32] {
+            let mut l = Lfsr::new(width, 12345).unwrap();
+            for _ in 0..10_000 {
+                assert_ne!(l.step(), 0, "width {width} reached the lock-up state");
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr_bitstream_probability_converges() {
+        let mut l = Lfsr::new(10, 7).unwrap();
+        for &p in &[0.1, 0.3, 0.5, 0.9] {
+            let s = l.bitstream(p, 1023).unwrap();
+            assert!(
+                (s.frac_ones() - p).abs() < 0.02,
+                "p={p}, got {}",
+                s.frac_ones()
+            );
+        }
+    }
+
+    #[test]
+    fn bitstream_rejects_bad_probability() {
+        let mut l = Lfsr::new(8, 1).unwrap();
+        assert!(l.bitstream(1.5, 16).is_err());
+        assert!(l.bitstream(-0.1, 16).is_err());
+    }
+
+    #[test]
+    fn vdc_low_discrepancy_beats_lfsr_short_streams() {
+        // The whole point of low-discrepancy SNGs: for short streams the
+        // empirical fraction is closer to p than a typical LFSR draw.
+        let p = 0.3;
+        let mut vdc = VanDerCorput::new(16).unwrap();
+        let s = vdc.bitstream(p, 64).unwrap();
+        assert!((s.frac_ones() - p).abs() <= 1.0 / 64.0 + 1e-9);
+    }
+
+    #[test]
+    fn vdc_first_fractions_are_bit_reversed_counter() {
+        let mut vdc = VanDerCorput::new(4).unwrap();
+        let got: Vec<f64> = (0..4).map(|_| vdc.next_fraction()).collect();
+        assert_eq!(got, vec![0.0, 0.5, 0.25, 0.75]);
+    }
+
+    #[test]
+    fn comparator_sng_bipolar_range_check() {
+        let mut sng = ComparatorSng::new(Lfsr::new(8, 3).unwrap());
+        assert!(sng.bipolar(1.2, 8).is_err());
+        let s = sng.bipolar(0.0, 255).unwrap();
+        assert!((s.frac_ones() - 0.5).abs() < 0.06);
+    }
+}

@@ -1,0 +1,157 @@
+//! Truth-table multiplication of thermometer streams (paper §II-A, \[10\]).
+//!
+//! For the short BSLs ASCEND quantizes to (2-bit weights/activations), a
+//! thermometer multiplier is a lookup table over the two input levels. The
+//! product of levels `q_a ∈ [−L_a/2, L_a/2]` and `q_b ∈ [−L_b/2, L_b/2]`
+//! lies in `[−L_aL_b/4, L_aL_b/4]`, so an output BSL of `L_aL_b/2` is exact.
+
+use crate::therm::ThermStream;
+use crate::ScError;
+
+/// Exact output BSL for multiplying streams of lengths `la` and `lb`.
+pub fn exact_output_len(la: usize, lb: usize) -> usize {
+    (la * lb) / 2
+}
+
+/// Multiplies two thermometer streams exactly.
+///
+/// Output: level `q_a·q_b`, scale `α_a·α_b`, length [`exact_output_len`],
+/// in sorted normal form (a hardware truth table emits a fixed pattern per
+/// input level pair; sorted form is the canonical choice).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if either input has zero length.
+///
+/// ```
+/// use sc_core::{ttmul, ThermStream};
+///
+/// let a = ThermStream::from_level(-1, 2, 0.7)?;  // ternary −0.7
+/// let b = ThermStream::from_level(1, 2, 0.5)?;   // ternary +0.5
+/// let p = ttmul::mul(&a, &b)?;
+/// assert_eq!(p.level(), -1);
+/// assert!((p.value() + 0.35).abs() < 1e-12);
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), sc_core::ScError>(())
+/// ```
+pub fn mul(a: &ThermStream, b: &ThermStream) -> Result<ThermStream, ScError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(ScError::InvalidParam {
+            name: "stream",
+            reason: "cannot multiply zero-length thermometer streams".into(),
+        });
+    }
+    let out_len = exact_output_len(a.len(), b.len());
+    ThermStream::from_level(a.level() * b.level(), out_len, a.scale() * b.scale())
+}
+
+/// Multiplies into a caller-chosen output BSL, saturating the level to
+/// `[−out_len/2, out_len/2]`.
+///
+/// This models a truth table with a narrower output than the exact product
+/// requires — the form used inside the iterative softmax datapath, where
+/// `B_y` bounds every operand.
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `out_len` is zero or odd, or if
+/// either input has zero length.
+pub fn mul_saturating(
+    a: &ThermStream,
+    b: &ThermStream,
+    out_len: usize,
+) -> Result<ThermStream, ScError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(ScError::InvalidParam {
+            name: "stream",
+            reason: "cannot multiply zero-length thermometer streams".into(),
+        });
+    }
+    if out_len == 0 || out_len % 2 != 0 {
+        return Err(ScError::InvalidParam {
+            name: "out_len",
+            reason: format!("output length must be even and non-zero, got {out_len}"),
+        });
+    }
+    let half = (out_len / 2) as i64;
+    let q = (a.level() * b.level()).clamp(-half, half);
+    ThermStream::from_level(q, out_len, a.scale() * b.scale())
+}
+
+/// Multiplies a stream by a small non-negative integer constant by repeated
+/// BSN addition semantics (level scales, bit-length scales).
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidParam`] if `k == 0`.
+pub fn mul_const(a: &ThermStream, k: u32) -> Result<ThermStream, ScError> {
+    if k == 0 {
+        return Err(ScError::InvalidParam {
+            name: "k",
+            reason: "constant must be non-zero (encode zero as an empty sum instead)".into(),
+        });
+    }
+    ThermStream::from_level(a.level() * k as i64, a.len() * k as usize, a.scale())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_ternary_times_ternary() {
+        // The 2b × 2b truth table: all nine level pairs.
+        for qa in -1..=1i64 {
+            for qb in -1..=1i64 {
+                let a = ThermStream::from_level(qa, 2, 0.5).unwrap();
+                let b = ThermStream::from_level(qb, 2, 2.0).unwrap();
+                let p = mul(&a, &b).unwrap();
+                assert_eq!(p.level(), qa * qb);
+                assert!((p.value() - (qa as f64 * 0.5) * (qb as f64 * 2.0)).abs() < 1e-12);
+                assert_eq!(p.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_ternary_times_16b() {
+        // The 2b × 16b table used for residual fusion (W2-A2-R16).
+        for qa in -1..=1i64 {
+            for qb in -8..=8i64 {
+                let a = ThermStream::from_level(qa, 2, 1.0).unwrap();
+                let b = ThermStream::from_level(qb, 16, 0.125).unwrap();
+                let p = mul(&a, &b).unwrap();
+                assert_eq!(p.level(), qa * qb);
+                assert_eq!(p.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_mul_clamps() {
+        let a = ThermStream::from_level(4, 8, 1.0).unwrap();
+        let b = ThermStream::from_level(4, 8, 1.0).unwrap();
+        let p = mul_saturating(&a, &b, 8).unwrap();
+        assert_eq!(p.level(), 4); // 16 clamped to 8/2
+        assert!(mul_saturating(&a, &b, 7).is_err());
+        assert!(mul_saturating(&a, &b, 0).is_err());
+    }
+
+    #[test]
+    fn mul_const_scales_level_and_length() {
+        let a = ThermStream::from_level(-2, 8, 0.25).unwrap();
+        let p = mul_const(&a, 3).unwrap();
+        assert_eq!(p.level(), -6);
+        assert_eq!(p.len(), 24);
+        assert!((p.value() + 1.5).abs() < 1e-12);
+        assert!(mul_const(&a, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_operands() {
+        let a = ThermStream::from_level(0, 2, 1.0).unwrap();
+        let empty = ThermStream::new(crate::Bitstream::zeros(0), 1.0).unwrap();
+        assert!(mul(&a, &empty).is_err());
+        assert!(mul(&empty, &a).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Hardware cost accounting: area, delay, cycles, ADP.
+
+use std::ops::Add;
+
+/// The synthesized cost of a block.
+///
+/// `delay_ns()` is `critical_path_ns` for combinational blocks
+/// (`cycles == 1`) and `cycles × critical_path_ns` for sequential ones —
+/// matching how the paper reports "delay" for the stream-serial baselines
+/// (e.g. 1024-cycle Bernstein evaluation at an 0.08 ns critical path gives
+/// the 81.92 ns of Table III).
+///
+/// ```
+/// use sc_hw::HwCost;
+///
+/// let c = HwCost::sequential(100.0, 0.5, 128);
+/// assert!((c.delay_ns() - 64.0).abs() < 1e-9);
+/// assert!((c.adp() - 6400.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HwCost {
+    /// Total cell area, µm² (wire factor already applied).
+    pub area_um2: f64,
+    /// Critical path, ns.
+    pub critical_path_ns: f64,
+    /// Clock cycles per evaluation (1 = combinational).
+    pub cycles: u64,
+}
+
+impl HwCost {
+    /// A purely combinational block.
+    pub fn combinational(area_um2: f64, critical_path_ns: f64) -> Self {
+        HwCost { area_um2, critical_path_ns, cycles: 1 }
+    }
+
+    /// A sequential block clocked at its critical path for `cycles` cycles.
+    pub fn sequential(area_um2: f64, critical_path_ns: f64, cycles: u64) -> Self {
+        HwCost { area_um2, critical_path_ns, cycles }
+    }
+
+    /// Evaluation latency in ns.
+    pub fn delay_ns(&self) -> f64 {
+        self.critical_path_ns * self.cycles.max(1) as f64
+    }
+
+    /// Area-delay product in µm²·ns — the paper's headline efficiency metric.
+    pub fn adp(&self) -> f64 {
+        self.area_um2 * self.delay_ns()
+    }
+
+    /// Combines two blocks operating *in parallel*: areas add, the slower
+    /// evaluation dominates latency.
+    pub fn parallel(self, other: HwCost) -> HwCost {
+        let (slow, fast) = if self.delay_ns() >= other.delay_ns() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let _ = fast;
+        HwCost {
+            area_um2: self.area_um2 + other.area_um2,
+            critical_path_ns: slow.critical_path_ns,
+            cycles: slow.cycles,
+        }
+    }
+
+    /// Combines two blocks operating *in series* (pipeline stages executed
+    /// back to back): areas add, latencies add. The result is expressed as a
+    /// combinational-equivalent cost (cycles folded into the path).
+    pub fn series(self, other: HwCost) -> HwCost {
+        HwCost {
+            area_um2: self.area_um2 + other.area_um2,
+            critical_path_ns: self.delay_ns() + other.delay_ns(),
+            cycles: 1,
+        }
+    }
+
+    /// Scales the area by a replication count (e.g. `m` identical units).
+    pub fn replicated(self, n: usize) -> HwCost {
+        HwCost { area_um2: self.area_um2 * n as f64, ..self }
+    }
+}
+
+impl Add for HwCost {
+    type Output = HwCost;
+
+    /// `+` is the parallel composition (the common case when tiling units).
+    fn add(self, other: HwCost) -> HwCost {
+        self.parallel(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_delay_is_path() {
+        let c = HwCost::combinational(10.0, 0.5);
+        assert_eq!(c.delay_ns(), 0.5);
+        assert_eq!(c.adp(), 5.0);
+    }
+
+    #[test]
+    fn zero_cycles_treated_as_one() {
+        let c = HwCost { area_um2: 1.0, critical_path_ns: 2.0, cycles: 0 };
+        assert_eq!(c.delay_ns(), 2.0);
+    }
+
+    #[test]
+    fn parallel_takes_max_delay_and_sums_area() {
+        let a = HwCost::combinational(10.0, 0.5);
+        let b = HwCost::sequential(5.0, 0.1, 100); // 10 ns
+        let p = a + b;
+        assert_eq!(p.area_um2, 15.0);
+        assert!((p.delay_ns() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_adds_delays() {
+        let a = HwCost::combinational(10.0, 0.5);
+        let b = HwCost::sequential(5.0, 0.1, 100);
+        let s = a.series(b);
+        assert_eq!(s.area_um2, 15.0);
+        assert!((s.delay_ns() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_scales_area_only() {
+        let a = HwCost::combinational(10.0, 0.5).replicated(64);
+        assert_eq!(a.area_um2, 640.0);
+        assert_eq!(a.delay_ns(), 0.5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Pareto-front extraction for the design-space exploration (paper Fig. 8).
+
+/// A candidate design with its two objectives (both minimized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint<T> {
+    /// Caller-supplied identity (e.g. the softmax configuration).
+    pub id: T,
+    /// Area-delay product, µm²·ns.
+    pub adp: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+}
+
+impl<T> DesignPoint<T> {
+    /// True if `self` dominates `other` (no worse on both axes, strictly
+    /// better on at least one).
+    pub fn dominates(&self, other: &DesignPoint<T>) -> bool {
+        (self.adp <= other.adp && self.mae <= other.mae)
+            && (self.adp < other.adp || self.mae < other.mae)
+    }
+}
+
+/// Extracts the Pareto-optimal subset (minimizing ADP and MAE), sorted by
+/// ascending ADP.
+///
+/// ```
+/// use sc_hw::pareto::{pareto_front, DesignPoint};
+///
+/// let pts = vec![
+///     DesignPoint { id: "a", adp: 1.0, mae: 0.5 },
+///     DesignPoint { id: "b", adp: 2.0, mae: 0.1 },
+///     DesignPoint { id: "c", adp: 3.0, mae: 0.4 },  // dominated by b
+/// ];
+/// let front = pareto_front(pts);
+/// let ids: Vec<&str> = front.iter().map(|p| p.id).collect();
+/// assert_eq!(ids, vec!["a", "b"]);
+/// ```
+pub fn pareto_front<T>(mut points: Vec<DesignPoint<T>>) -> Vec<DesignPoint<T>> {
+    // Sort by ADP ascending, MAE ascending as tiebreak; then a single sweep
+    // keeps points with a strictly improving MAE.
+    points.sort_by(|a, b| {
+        a.adp
+            .partial_cmp(&b.adp)
+            .expect("finite adp")
+            .then(a.mae.partial_cmp(&b.mae).expect("finite mae"))
+    });
+    let mut front: Vec<DesignPoint<T>> = Vec::new();
+    let mut best_mae = f64::INFINITY;
+    for p in points {
+        if p.mae < best_mae {
+            best_mae = p.mae;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        let a = DesignPoint { id: 0, adp: 1.0, mae: 1.0 };
+        let b = DesignPoint { id: 1, adp: 2.0, mae: 2.0 };
+        let c = DesignPoint { id: 2, adp: 1.0, mae: 1.0 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front::<()>(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated_and_complete() {
+        // A grid with known optima.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(DesignPoint {
+                    id: (i, j),
+                    adp: 1.0 + i as f64,
+                    mae: 1.0 + j as f64 + (i as f64 * -0.5),
+                });
+            }
+        }
+        let front = pareto_front(pts.clone());
+        // No front point dominates another.
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominates(b) || a == b);
+            }
+        }
+        // Every excluded point is dominated by some front point.
+        for p in &pts {
+            if !front.iter().any(|f| f.id == p.id) {
+                assert!(
+                    front.iter().any(|f| f.dominates(p)),
+                    "point {:?} excluded but not dominated",
+                    p.id
+                );
+            }
+        }
+        // Front is sorted by ADP and strictly decreasing in MAE.
+        for w in front.windows(2) {
+            assert!(w[0].adp <= w[1].adp);
+            assert!(w[0].mae > w[1].mae);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_keep_single_representative() {
+        let pts = vec![
+            DesignPoint { id: 'x', adp: 1.0, mae: 1.0 },
+            DesignPoint { id: 'y', adp: 1.0, mae: 1.0 },
+        ];
+        let front = pareto_front(pts);
+        assert_eq!(front.len(), 1);
+    }
+}

@@ -1,0 +1,678 @@
+//! Iterative approximate softmax — ASCEND's softmax block (§IV-B).
+//!
+//! Division and exponentiation are hostile to SC; ASCEND sidesteps both with
+//! the iterative approximation of \[22\] (Algorithm 1 in the paper): for
+//! `y(t) = softmax(t·x)`, `y(0) = 1/m` is known and `y'(t)` is expressible
+//! in `y(t)`, so `k` Euler steps march from the uniform vector to softmax
+//! using only multiply, accumulate, and division by the *constant* `k` —
+//! which in thermometer SC is a scale-factor edit, free in hardware.
+//!
+//! The circuit (paper Fig. 5) has `m` compute units (MUL① `z_i = x_i·y_i`,
+//! MUL② `y_i·sum(z)`, two re-scaling blocks) and two BSNs (sum(z) and the
+//! final accumulate). [`IterSoftmaxBlock`] simulates it bit-accurately with
+//! every quantization the hardware makes: input/state thermometer grids
+//! (`Bx`/`αx`, `By`/`αy`), the `s1`/`s2` sub-sampling of `sum(z)` and
+//! `y·sum(z)`, and saturating truncation back to the `By` state register.
+
+use sc_core::encoding::Thermometer;
+use sc_core::rescale::{align_scale, rescale, truncate_center, RescaleMode};
+use sc_core::{bsn, ttmul, ScError, ThermStream};
+
+/// Float-exact Algorithm 1: `k` Euler steps from the uniform vector.
+///
+/// This is the *algorithmic* approximation the circuit then quantizes; the
+/// gap between this and [`crate::ref_fn::softmax`] is the iteration error,
+/// the rest of the block's error is quantization.
+///
+/// ```
+/// use sc_nonlinear::softmax_iter::iterative_softmax_float;
+/// use sc_nonlinear::ref_fn;
+///
+/// let x = [0.5, -0.2, 0.1, 0.9];
+/// let approx = iterative_softmax_float(&x, 8);
+/// let exact = ref_fn::softmax(&x);
+/// for (a, e) in approx.iter().zip(exact.iter()) {
+///     assert!((a - e).abs() < 0.05);
+/// }
+/// ```
+pub fn iterative_softmax_float(x: &[f64], k: usize) -> Vec<f64> {
+    let m = x.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut y = vec![1.0 / m as f64; m];
+    for _ in 0..k {
+        let z: Vec<f64> = x.iter().zip(y.iter()).map(|(xi, yi)| xi * yi).collect();
+        let sum_z: f64 = z.iter().sum();
+        for i in 0..m {
+            y[i] += (z[i] - y[i] * sum_z) / k as f64;
+        }
+    }
+    y
+}
+
+/// Parameters of the SC softmax block (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterSoftmaxConfig {
+    /// Row-vector length `m` (64 for the paper's Table IV).
+    pub m: usize,
+    /// Iteration count `k`.
+    pub k: usize,
+    /// Input BSL `Bx`.
+    pub bx: usize,
+    /// Input scale `αx`.
+    pub ax: f64,
+    /// State BSL `By`.
+    pub by: usize,
+    /// State scale `αy`.
+    pub ay: f64,
+    /// Sub-sample rate of `sum(z)` (`s1`).
+    pub s1: usize,
+    /// Sub-sample rate of `y·sum(z)` (`s2`).
+    pub s2: usize,
+    /// Rounding behaviour of the re-scaling blocks.
+    pub mode: RescaleMode,
+}
+
+impl Default for IterSoftmaxConfig {
+    fn default() -> Self {
+        // The paper's recommended configuration [By, s1, s2, k] = [8,32,8,3]
+        // with Bx = 4.
+        IterSoftmaxConfig {
+            m: 64,
+            k: 3,
+            bx: 4,
+            ax: 1.0,
+            by: 8,
+            ay: 0.0625,
+            s1: 32,
+            s2: 8,
+            mode: RescaleMode::Round,
+        }
+    }
+}
+
+impl IterSoftmaxConfig {
+    /// Basic sanity checks (positivity, parity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] describing the first violation.
+    pub fn validate(&self) -> Result<(), ScError> {
+        let fail = |name: &'static str, reason: String| ScError::InvalidParam { name, reason };
+        if self.m == 0 {
+            return Err(fail("m", "row length must be non-zero".into()));
+        }
+        if self.k == 0 {
+            return Err(fail("k", "iteration count must be non-zero".into()));
+        }
+        for (name, v) in [("bx", self.bx), ("by", self.by)] {
+            if v == 0 || v % 2 != 0 {
+                return Err(fail(name, format!("BSL must be even and non-zero, got {v}")));
+            }
+        }
+        for (name, v) in [("ax", self.ax), ("ay", self.ay)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(fail(name, format!("scale must be finite and positive, got {v}")));
+            }
+        }
+        if self.s1 == 0 || self.s2 == 0 {
+            return Err(fail("s1/s2", "sub-sample rates must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Internal datapath stream lengths of one softmax compute unit (per
+/// iteration), consumed by the `sc-hw` cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterSoftmaxDims {
+    /// `z_i = x_i·y_i` product length (`Bx·By/2`).
+    pub z_len: usize,
+    /// BSN① output length (`m·z_len`).
+    pub sum_len: usize,
+    /// `sum(z)` after the `s1` sub-sample.
+    pub sum_sub_len: usize,
+    /// MUL② product length before the `s2` sub-sample.
+    pub w_len: usize,
+    /// MUL② product after the `s2` sub-sample.
+    pub w_sub_len: usize,
+    /// The `z/k` term after re-scaling onto `αy`.
+    pub zk_len: usize,
+    /// The `y·sum(z)/k` term after re-scaling onto `αy`.
+    pub wk_len: usize,
+    /// BSN② input width (`By + zk_len + wk_len`).
+    pub acc_len: usize,
+}
+
+/// Bit-accurate simulator of the Fig. 5 softmax circuit block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSoftmaxBlock {
+    config: IterSoftmaxConfig,
+    in_codec: Thermometer,
+    state_codec: Thermometer,
+}
+
+impl IterSoftmaxBlock {
+    /// Builds the block, verifying the configuration is self-consistent
+    /// (every internal re-scale must be feasible — this is what makes some
+    /// of the 2916 DSE grid points "impossible designs").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if validation or any dry-run
+    /// feasibility check fails.
+    pub fn new(config: IterSoftmaxConfig) -> Result<Self, ScError> {
+        config.validate()?;
+        let in_codec = Thermometer::new(config.bx, config.ax)?;
+        let state_codec = Thermometer::new(config.by, config.ay)?;
+        let block = IterSoftmaxBlock { config, in_codec, state_codec };
+        // Dry-run one step on a zero vector to surface infeasible rescales.
+        block.run(&vec![0.0; config.m])?;
+        Ok(block)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IterSoftmaxConfig {
+        &self.config
+    }
+
+    /// Input codec (`Bx`, `αx`).
+    pub fn input_codec(&self) -> &Thermometer {
+        &self.in_codec
+    }
+
+    /// State codec (`By`, `αy`).
+    pub fn state_codec(&self) -> &Thermometer {
+        &self.state_codec
+    }
+
+    /// Runs the circuit on a logit row, returning the decoded softmax
+    /// approximation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if `x.len() != m`, and
+    /// [`ScError::InvalidParam`] if an internal re-scale is infeasible for
+    /// this configuration.
+    pub fn run(&self, x: &[f64]) -> Result<Vec<f64>, ScError> {
+        let c = &self.config;
+        if x.len() != c.m {
+            return Err(ScError::LengthMismatch { left: x.len(), right: c.m });
+        }
+        // Encode inputs once (clamped to the αx·Bx/2 range).
+        let xs: Vec<ThermStream> = x.iter().map(|&v| self.in_codec.encode(v)).collect();
+        // y⁰ = 1/m on the state grid.
+        let y0 = self.state_codec.encode(1.0 / c.m as f64);
+        let mut ys: Vec<ThermStream> = vec![y0; c.m];
+
+        for _ in 0..c.k {
+            // MUL①: z_i = x_i · y_i (truth-table, exact).
+            let zs: Vec<ThermStream> = xs
+                .iter()
+                .zip(ys.iter())
+                .map(|(xi, yi)| ttmul::mul(xi, yi))
+                .collect::<Result<_, _>>()?;
+            // BSN①: sum(z), then sub-sample by s1.
+            let z_refs: Vec<&ThermStream> = zs.iter().collect();
+            let sum_z = bsn::add(&z_refs)?;
+            let sum_z = rescale(&sum_z, c.s1, c.mode)?;
+
+            let mut next = Vec::with_capacity(c.m);
+            for (yi, zi) in ys.iter().zip(zs.iter()) {
+                // MUL②: w_i = y_i · sum(z), then sub-sample by s2.
+                let wi = ttmul::mul(yi, &sum_z)?;
+                let wi = rescale(&wi, c.s2, c.mode)?;
+
+                // ÷k by scale folding (free), then re-scale onto αy.
+                let zk = zi.with_scale(zi.scale() / c.k as f64)?;
+                let zk = align_scale(&zk, c.ay, c.mode)?;
+                let wk = wi.with_scale(wi.scale() / c.k as f64)?;
+                let wk = align_scale(&wk, c.ay, c.mode)?;
+
+                // BSN②: y_i + z_i/k − w_i/k, saturate back into By bits.
+                let acc = bsn::add(&[yi, &zk, &wk.negate()])?;
+                next.push(truncate_center(&acc, c.by)?);
+            }
+            ys = next;
+        }
+        Ok(ys.iter().map(ThermStream::value).collect())
+    }
+
+    /// Measures the internal datapath widths (stream lengths) by pushing a
+    /// zero vector through one iteration — the numbers the hardware cost
+    /// model needs. Lengths are data-independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same feasibility errors as [`IterSoftmaxBlock::run`].
+    pub fn dims(&self) -> Result<IterSoftmaxDims, ScError> {
+        let c = &self.config;
+        let x0 = self.in_codec.encode(0.0);
+        let y0 = self.state_codec.encode(1.0 / c.m as f64);
+        let z = ttmul::mul(&x0, &y0)?;
+        let zs: Vec<ThermStream> = vec![z.clone(); c.m];
+        let z_refs: Vec<&ThermStream> = zs.iter().collect();
+        let sum_z = bsn::add(&z_refs)?;
+        let sum_sub = rescale(&sum_z, c.s1, c.mode)?;
+        let w = ttmul::mul(&y0, &sum_sub)?;
+        let w_sub = rescale(&w, c.s2, c.mode)?;
+        let zk = align_scale(&z.with_scale(z.scale() / c.k as f64)?, c.ay, c.mode)?;
+        let wk = align_scale(&w_sub.with_scale(w_sub.scale() / c.k as f64)?, c.ay, c.mode)?;
+        Ok(IterSoftmaxDims {
+            z_len: z.len(),
+            sum_len: sum_z.len(),
+            sum_sub_len: sum_sub.len(),
+            w_len: w.len(),
+            w_sub_len: w_sub.len(),
+            zk_len: zk.len(),
+            wk_len: wk.len(),
+            acc_len: c.by + zk.len() + wk.len(),
+        })
+    }
+
+    /// Mean absolute error per element against exact softmax, averaged over
+    /// a batch of logit rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IterSoftmaxBlock::run`] errors; rejects an empty batch.
+    pub fn mae(&self, rows: &[Vec<f64>]) -> Result<f64, ScError> {
+        if rows.is_empty() {
+            return Err(ScError::InvalidParam {
+                name: "rows",
+                reason: "need at least one test vector".into(),
+            });
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for row in rows {
+            let got = self.run(row)?;
+            let want = crate::ref_fn::softmax(row);
+            for (g, w) in got.iter().zip(want.iter()) {
+                total += (g - w).abs();
+                count += 1;
+            }
+        }
+        Ok(total / count as f64)
+    }
+}
+
+
+/// A `(level, len, scale)` triple mirroring a [`ThermStream`] without
+/// materializing bits — the fast twin used by the design-space sweep and
+/// the SC inference engine. Every operation reproduces the bit-level
+/// semantics exactly (property-tested against [`IterSoftmaxBlock::run`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LevelStream {
+    /// Level `q = ones − len/2`.
+    q: i64,
+    len: usize,
+    scale: f64,
+}
+
+impl LevelStream {
+    fn encode(x: f64, len: usize, scale: f64) -> Self {
+        let half = (len / 2) as i64;
+        let q = (x / scale).round().clamp(-(half as f64), half as f64) as i64;
+        LevelStream { q, len, scale }
+    }
+
+    fn ones(&self) -> i64 {
+        self.q + (self.len / 2) as i64
+    }
+
+    fn value(&self) -> f64 {
+        self.scale * self.q as f64
+    }
+
+    fn mul(&self, o: &LevelStream) -> Self {
+        LevelStream {
+            q: self.q * o.q,
+            len: self.len * o.len / 2,
+            scale: self.scale * o.scale,
+        }
+    }
+
+    fn sum(streams: &[LevelStream]) -> Self {
+        let q = streams.iter().map(|s| s.q).sum();
+        let len = streams.iter().map(|s| s.len).sum();
+        LevelStream { q, len, scale: streams[0].scale }
+    }
+
+    /// Mirrors `rescale`: strided tap at the mode's phase.
+    fn rescale(&self, s: usize, mode: RescaleMode) -> Self {
+        if s == 1 {
+            return *self;
+        }
+        let out_len = self.len / s;
+        let phase = mode.phase(s) as i64;
+        let ones = self.ones();
+        // count' = #{i in 0..out_len : i*s + phase < ones}
+        let count = if ones <= phase {
+            0
+        } else {
+            (((ones - phase - 1) / s as i64) + 1).min(out_len as i64)
+        };
+        LevelStream { q: count - (out_len / 2) as i64, len: out_len, scale: self.scale * s as f64 }
+    }
+
+    /// Mirrors `resample`: per-tap positions over the sorted stream.
+    fn resample(&self, out_len: usize, mode: RescaleMode) -> Self {
+        let l = self.len;
+        let ones = self.ones();
+        let mut count = 0i64;
+        for j in 0..out_len {
+            let pos = match mode {
+                RescaleMode::Floor => ((j + 1) * l - 1) / out_len,
+                RescaleMode::Round => ((2 * j + 1) * l) / (2 * out_len),
+                RescaleMode::Ceil => (j * l + out_len - 1) / out_len,
+            }
+            .min(l - 1);
+            if (pos as i64) < ones {
+                count += 1;
+            }
+        }
+        LevelStream {
+            q: count - (out_len / 2) as i64,
+            len: out_len,
+            scale: self.scale * l as f64 / out_len as f64,
+        }
+    }
+
+    /// Mirrors `align_scale` (nearest even tap count + exact relabel).
+    fn align_scale(&self, target: f64, mode: RescaleMode) -> Self {
+        let ideal = self.scale * self.len as f64 / target;
+        let mut out_len = (ideal / 2.0).round() as usize * 2;
+        if out_len < 2 {
+            out_len = 2;
+        }
+        let mut r = self.resample(out_len, mode);
+        r.scale = target;
+        r
+    }
+
+    fn negate(&self) -> Self {
+        LevelStream { q: -self.q, ..*self }
+    }
+
+    fn truncate_center(&self, out_len: usize) -> Self {
+        let half = (out_len / 2) as i64;
+        LevelStream { q: self.q.clamp(-half, half), len: out_len, scale: self.scale }
+    }
+}
+
+impl IterSoftmaxBlock {
+    /// Level-domain fast path: identical results to [`IterSoftmaxBlock::run`]
+    /// (property-tested) at a fraction of the cost. Use for design-space
+    /// sweeps and in-loop inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if `x.len() != m`.
+    pub fn run_levels(&self, x: &[f64]) -> Result<Vec<f64>, ScError> {
+        let c = &self.config;
+        if x.len() != c.m {
+            return Err(ScError::LengthMismatch { left: x.len(), right: c.m });
+        }
+        let xs: Vec<LevelStream> =
+            x.iter().map(|&v| LevelStream::encode(v, c.bx, c.ax)).collect();
+        let y0 = LevelStream::encode(1.0 / c.m as f64, c.by, c.ay);
+        let mut ys = vec![y0; c.m];
+        for _ in 0..c.k {
+            let zs: Vec<LevelStream> = xs.iter().zip(ys.iter()).map(|(a, b)| a.mul(b)).collect();
+            let sum_z = LevelStream::sum(&zs).rescale(c.s1, c.mode);
+            let mut next = Vec::with_capacity(c.m);
+            for (yi, zi) in ys.iter().zip(zs.iter()) {
+                let wi = yi.mul(&sum_z).rescale(c.s2, c.mode);
+                let mut zk = *zi;
+                zk.scale /= c.k as f64;
+                let zk = zk.align_scale(c.ay, c.mode);
+                let mut wk = wi;
+                wk.scale /= c.k as f64;
+                let wk = wk.align_scale(c.ay, c.mode).negate();
+                let acc = LevelStream::sum(&[*yi, zk, wk]);
+                next.push(acc.truncate_center(c.by));
+            }
+            ys = next;
+        }
+        Ok(ys.iter().map(LevelStream::value).collect())
+    }
+
+    /// MAE via the level-domain fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IterSoftmaxBlock::run_levels`] errors; rejects an empty
+    /// batch.
+    pub fn mae_levels(&self, rows: &[Vec<f64>]) -> Result<f64, ScError> {
+        if rows.is_empty() {
+            return Err(ScError::InvalidParam {
+                name: "rows",
+                reason: "need at least one test vector".into(),
+            });
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for row in rows {
+            let got = self.run_levels(row)?;
+            let want = crate::ref_fn::softmax(row);
+            for (g, w) in got.iter().zip(want.iter()) {
+                total += (g - w).abs();
+                count += 1;
+            }
+        }
+        Ok(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ref_fn;
+
+    #[test]
+    fn float_iteration_converges_with_k() {
+        let x = [1.0, -0.5, 0.3, 0.0, 0.9, -1.2];
+        let exact = ref_fn::softmax(&x);
+        let err = |k: usize| -> f64 {
+            iterative_softmax_float(&x, k)
+                .iter()
+                .zip(exact.iter())
+                .map(|(a, e)| (a - e).abs())
+                .sum::<f64>()
+        };
+        assert!(err(16) < err(4), "k=16: {} k=4: {}", err(16), err(4));
+        assert!(err(16) < 0.02);
+    }
+
+    #[test]
+    fn float_iteration_preserves_simplex_approximately() {
+        let x = [2.0, -1.0, 0.5, 0.2];
+        for k in [2, 4, 8] {
+            let y = iterative_softmax_float(&x, k);
+            let s: f64 = y.iter().sum();
+            assert!((s - 1.0).abs() < 0.05, "k={k} sum={s}");
+        }
+        assert!(iterative_softmax_float(&[], 4).is_empty());
+    }
+
+    fn small_block(m: usize) -> IterSoftmaxBlock {
+        IterSoftmaxBlock::new(IterSoftmaxConfig {
+            m,
+            k: 2,
+            bx: 4,
+            ax: 1.0,
+            by: 16,
+            ay: 1.0 / 8.0,
+            s1: 2,
+            s2: 8,
+            mode: RescaleMode::Round,
+        })
+        .expect("feasible test configuration")
+    }
+
+    #[test]
+    fn block_outputs_rough_softmax_shape() {
+        let block = small_block(4);
+        let x = vec![2.0, -2.0, 0.0, 0.0];
+        let y = block.run(&x).unwrap();
+        // Largest logit must win; order preserved for the clear gap.
+        let argmax = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 0, "y = {y:?}");
+        assert!(y[0] > y[1], "y = {y:?}");
+    }
+
+    #[test]
+    fn block_rejects_wrong_row_length() {
+        let block = small_block(4);
+        assert!(matches!(
+            block.run(&[0.0; 3]).unwrap_err(),
+            ScError::LengthMismatch { left: 3, right: 4 }
+        ));
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let bad = |f: fn(&mut IterSoftmaxConfig)| {
+            let mut c = IterSoftmaxConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.m = 0));
+        assert!(bad(|c| c.k = 0));
+        assert!(bad(|c| c.bx = 3));
+        assert!(bad(|c| c.by = 0));
+        assert!(bad(|c| c.ax = -1.0));
+        assert!(bad(|c| c.ay = f64::NAN));
+        assert!(bad(|c| c.s1 = 0));
+        assert!(bad(|c| c.s2 = 0));
+    }
+
+    #[test]
+    fn infeasible_rescale_is_reported_at_construction() {
+        // s1 that does not divide m·Bx·By/2 → construction must fail, not
+        // panic at run time.
+        let cfg = IterSoftmaxConfig {
+            m: 3,
+            k: 2,
+            bx: 4,
+            ax: 1.0,
+            by: 4,
+            ay: 0.25,
+            s1: 7,
+            s2: 2,
+            mode: RescaleMode::Round,
+        };
+        assert!(IterSoftmaxBlock::new(cfg).is_err());
+    }
+
+    #[test]
+    fn paper_recommended_config_is_feasible() {
+        // [By, s1, s2, k] = [8, 32, 8, 3] with Bx = 4, m = 64 (§VI-B3).
+        let block = IterSoftmaxBlock::new(IterSoftmaxConfig::default()).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let y = block.run(&x).unwrap();
+        assert_eq!(y.len(), 64);
+        // Order of the extremes must be preserved.
+        let exact = ref_fn::softmax(&x);
+        let argmax_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let got_at_max = y[argmax_exact];
+        assert!(y.iter().all(|v| *v <= got_at_max + 1e-9), "argmax not preserved");
+    }
+
+    #[test]
+    fn finer_state_grid_reduces_mae() {
+        // Table IV's By sweep: By = 16 must beat By = 4 on the same inputs.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|r| {
+                (0..8)
+                    .map(|i| ((r * 8 + i) as f64 * 0.7).sin() * 1.5)
+                    .collect()
+            })
+            .collect();
+        let mae_for = |by: usize| -> f64 {
+            IterSoftmaxBlock::new(IterSoftmaxConfig {
+                m: 8,
+                k: 3,
+                bx: 4,
+                ax: 1.0,
+                by,
+                ay: 2.0 / by as f64,
+                s1: 4,
+                s2: 4,
+                mode: RescaleMode::Round,
+            })
+            .expect("feasible")
+            .mae(&rows)
+            .expect("runs")
+        };
+        let coarse = mae_for(4);
+        let fine = mae_for(16);
+        assert!(fine < coarse, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn uniform_input_is_near_fixed_point() {
+        // softmax(0,…,0) = 1/m and the iteration should stay there up to
+        // quantization.
+        let block = small_block(8);
+        let y = block.run(&vec![0.0; 8]).unwrap();
+        for v in &y {
+            assert!((v - 0.125).abs() <= 2.0 * block.state_codec().scale(), "y = {y:?}");
+        }
+    }
+
+    #[test]
+    fn dims_are_consistent() {
+        let block = IterSoftmaxBlock::new(IterSoftmaxConfig::default()).unwrap();
+        let d = block.dims().unwrap();
+        let c = block.config();
+        assert_eq!(d.z_len, c.bx * c.by / 2);
+        assert_eq!(d.sum_len, c.m * d.z_len);
+        assert_eq!(d.sum_sub_len, d.sum_len / c.s1);
+        assert_eq!(d.w_len, c.by * d.sum_sub_len / 2);
+        assert_eq!(d.w_sub_len, d.w_len / c.s2);
+        assert_eq!(d.acc_len, c.by + d.zk_len + d.wk_len);
+        assert!(d.zk_len >= 2 && d.wk_len >= 2);
+    }
+
+    #[test]
+    fn mae_rejects_empty_batch() {
+        let block = small_block(4);
+        assert!(block.mae(&[]).is_err());
+    }
+    #[test]
+    fn level_sim_matches_bit_sim_exactly() {
+        // The fast twin must agree bit-for-bit (in decoded values) with the
+        // bit-accurate simulator across configurations and inputs.
+        let configs = [
+            IterSoftmaxConfig::default(),
+            IterSoftmaxConfig { m: 8, k: 2, bx: 4, ax: 0.5, by: 16, ay: 0.0625, s1: 4, s2: 8, mode: RescaleMode::Floor },
+            IterSoftmaxConfig { m: 16, k: 4, bx: 2, ax: 1.0, by: 8, ay: 0.125, s1: 8, s2: 2, mode: RescaleMode::Ceil },
+        ];
+        for cfg in configs {
+            let block = IterSoftmaxBlock::new(cfg).unwrap();
+            for seed in 0..4u64 {
+                let x: Vec<f64> = (0..cfg.m)
+                    .map(|i| ((i as f64 + seed as f64 * 3.7) * 0.59).sin() * 1.8)
+                    .collect();
+                let bits = block.run(&x).unwrap();
+                let levels = block.run_levels(&x).unwrap();
+                for (b, l) in bits.iter().zip(levels.iter()) {
+                    assert!((b - l).abs() < 1e-12, "cfg {cfg:?}: {b} vs {l}");
+                }
+            }
+        }
+    }
+}

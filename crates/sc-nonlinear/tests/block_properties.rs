@@ -1,0 +1,111 @@
+//! Property tests across the nonlinear-block families.
+
+use proptest::prelude::*;
+use sc_core::encoding::Thermometer;
+use sc_core::rescale::RescaleMode;
+use sc_core::ThermStream;
+use sc_nonlinear::gate_si::GateAssistedSi;
+use sc_nonlinear::ref_fn;
+use sc_nonlinear::si::SiBlock;
+use sc_nonlinear::softmax_iter::{IterSoftmaxBlock, IterSoftmaxConfig};
+
+proptest! {
+    /// Gate-assisted SI must realize its compiled table exactly for every
+    /// input level — the "exact, fluctuation-free" claim of §IV-A.
+    #[test]
+    fn gate_si_realizes_its_table_exactly(
+        bx in prop::sample::select(vec![4usize, 8, 16, 32]),
+        by in prop::sample::select(vec![2usize, 4, 8]),
+        scale_num in 1u32..8,
+    ) {
+        let input = Thermometer::new(bx, 0.25 * scale_num as f64).unwrap();
+        let output = Thermometer::new(by, 0.1).unwrap();
+        let block = GateAssistedSi::compile(ref_fn::gelu, input, output).unwrap();
+        for t in 0..=bx {
+            let x = ThermStream::from_level(t as i64 - (bx / 2) as i64, bx, input.scale()).unwrap();
+            let y = block.eval(&x);
+            let expect = block.ones_table()[t] as i64 - (by / 2) as i64;
+            prop_assert_eq!(y.level(), expect, "t={}", t);
+        }
+    }
+
+    /// Naive SI can never beat gate-assisted SI on the same grids (its
+    /// transfer is the isotonic projection of the gate-SI table).
+    #[test]
+    fn naive_si_never_beats_gate_si(
+        bx in prop::sample::select(vec![8usize, 16, 32]),
+        by in prop::sample::select(vec![4usize, 8]),
+    ) {
+        let input = Thermometer::with_range(bx, 4.0).unwrap();
+        let output = Thermometer::new(by, 0.17).unwrap();
+        let gate = GateAssistedSi::compile(ref_fn::gelu, input, output).unwrap();
+        let naive = SiBlock::compile(ref_fn::gelu, input, output).unwrap();
+        let mut gate_err = 0.0;
+        let mut naive_err = 0.0;
+        let mut x = -4.0;
+        while x <= 4.0 {
+            gate_err += (gate.eval_value(x) - ref_fn::gelu(x)).abs();
+            naive_err += (naive.eval_value(x) - ref_fn::gelu(x)).abs();
+            x += 0.05;
+        }
+        prop_assert!(gate_err <= naive_err + 1e-9, "gate {} vs naive {}", gate_err, naive_err);
+    }
+
+    /// The softmax block's level-domain twin matches the bit-level circuit
+    /// on randomized configurations and inputs.
+    #[test]
+    fn softmax_level_twin_matches_bits(
+        m in prop::sample::select(vec![4usize, 8, 16]),
+        k in 1usize..=4,
+        by in prop::sample::select(vec![8usize, 16]),
+        seed in 0u64..50,
+    ) {
+        let cfg = IterSoftmaxConfig {
+            m,
+            k,
+            bx: 4,
+            ax: 1.0,
+            by,
+            ay: 1.0 / m as f64,
+            s1: 2,
+            s2: 2,
+            mode: RescaleMode::Round,
+        };
+        if let Ok(block) = IterSoftmaxBlock::new(cfg) {
+            let x: Vec<f64> = (0..m)
+                .map(|i| ((i as f64 + seed as f64) * 0.77).sin() * 1.5)
+                .collect();
+            let bits = block.run(&x).unwrap();
+            let levels = block.run_levels(&x).unwrap();
+            for (b, l) in bits.iter().zip(levels.iter()) {
+                prop_assert!((b - l).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Softmax block outputs stay within the representable state range and
+    /// are deterministic.
+    #[test]
+    fn softmax_outputs_bounded_and_deterministic(seed in 0u64..30) {
+        let block = IterSoftmaxBlock::new(IterSoftmaxConfig {
+            m: 8,
+            k: 3,
+            bx: 4,
+            ax: 1.0,
+            by: 16,
+            ay: 0.125,
+            s1: 4,
+            s2: 4,
+            mode: RescaleMode::Round,
+        })
+        .unwrap();
+        let x: Vec<f64> = (0..8).map(|i| ((i as f64 * 1.3) + seed as f64).sin() * 2.0).collect();
+        let a = block.run_levels(&x).unwrap();
+        let b = block.run_levels(&x).unwrap();
+        prop_assert_eq!(&a, &b);
+        let bound = 0.125 * 8.0 + 1e-12;
+        for v in a {
+            prop_assert!(v.abs() <= bound, "out of state range: {}", v);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Parameter initialization.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A seeded initializer handing out tensors.
+///
+/// ```
+/// use ascend_tensor::init::Initializer;
+///
+/// let mut init = Initializer::new(42);
+/// let w = init.xavier_uniform(&[16, 32]);
+/// assert_eq!(w.shape(), &[16, 32]);
+/// // Bound = sqrt(6/(16+32)) ≈ 0.353.
+/// assert!(w.data().iter().all(|v| v.abs() <= 0.36));
+/// ```
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates a seeded initializer.
+    pub fn new(seed: u64) -> Self {
+        Initializer { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[-bound, bound]`.
+    pub fn uniform(&mut self, shape: &[usize], bound: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| self.rng.random_range(-bound..=bound)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Xavier/Glorot uniform for `[fan_out, fan_in]`-shaped weights (or any
+    /// 2-D shape; higher ranks use the trailing two dims).
+    pub fn xavier_uniform(&mut self, shape: &[usize]) -> Tensor {
+        let (fan_in, fan_out) = fans(shape);
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(shape, bound)
+    }
+
+    /// Truncated normal (±2σ) with the given σ — ViT embedding convention.
+    pub fn trunc_normal(&mut self, shape: &[usize], sigma: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|_| loop {
+                let u1: f32 = self.rng.random::<f32>().max(1e-12);
+                let u2: f32 = self.rng.random();
+                let z =
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * sigma;
+                if z.abs() <= 2.0 * sigma {
+                    break z;
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+}
+
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        _ => (shape[shape.len() - 1], shape[shape.len() - 2]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Initializer::new(7).xavier_uniform(&[4, 4]);
+        let b = Initializer::new(7).xavier_uniform(&[4, 4]);
+        assert_eq!(a, b);
+        let c = Initializer::new(8).xavier_uniform(&[4, 4]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let t = Initializer::new(1).trunc_normal(&[1000], 0.5);
+        assert!(t.data().iter().all(|v| v.abs() <= 1.0));
+        let mean = t.mean_all();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn fans_of_shapes() {
+        assert_eq!(fans(&[10, 20]), (20, 10));
+        assert_eq!(fans(&[5]), (5, 5));
+        assert_eq!(fans(&[]), (1, 1));
+    }
+}

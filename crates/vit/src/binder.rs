@@ -1,0 +1,83 @@
+//! Parameter binding: pairing model-owned tensors with graph leaves.
+//!
+//! Each training step builds a fresh [`ascend_tensor::Graph`]; the model's
+//! parameters (plain [`Tensor`]s it owns) are *bound* into the graph as
+//! leaves in a deterministic traversal order. After `backward`, the trainer
+//! zips [`Binder::vars`] with the model's `params_mut()` — which must list
+//! tensors in the same order — to hand gradients to the optimizer.
+
+use ascend_tensor::{Graph, Tensor, Var};
+
+/// Records the leaf variables created for model parameters, in bind order.
+pub struct Binder<'g> {
+    g: &'g Graph,
+    vars: Vec<Var<'g>>,
+}
+
+impl<'g> Binder<'g> {
+    /// Starts binding onto a graph.
+    pub fn new(g: &'g Graph) -> Self {
+        Binder { g, vars: Vec::new() }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Binds one parameter tensor, returning its leaf.
+    pub fn bind(&mut self, t: &Tensor) -> Var<'g> {
+        let v = self.g.leaf(t.clone());
+        self.vars.push(v);
+        v
+    }
+
+    /// The bound leaves, in bind order.
+    pub fn vars(&self) -> &[Var<'g>] {
+        &self.vars
+    }
+
+    /// Number of parameters bound.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if nothing was bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Collects gradients for every bound parameter after a backward pass,
+    /// substituting zeros for parameters the loss did not reach.
+    pub fn grads(&self) -> Vec<Tensor> {
+        self.vars
+            .iter()
+            .map(|v| {
+                self.g
+                    .grad(*v)
+                    .unwrap_or_else(|| Tensor::zeros(&v.value().shape().to_vec()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_in_order_and_collects_grads() {
+        let g = Graph::new();
+        let mut b = Binder::new(&g);
+        let p1 = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let p2 = Tensor::from_vec(vec![3.0], &[1]);
+        let v1 = b.bind(&p1);
+        let _v2 = b.bind(&p2); // unused by the loss
+        assert_eq!(b.len(), 2);
+        let loss = v1.square().sum_all();
+        g.backward(loss);
+        let grads = b.grads();
+        assert_eq!(grads[0].data(), &[2.0, 4.0]);
+        assert_eq!(grads[1].data(), &[0.0], "unused param gets zero grad");
+    }
+}

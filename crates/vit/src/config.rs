@@ -1,0 +1,138 @@
+//! Model configuration.
+
+/// Which normalization the encoder blocks use.
+///
+/// The paper replaces LayerNorm with BatchNorm (+ knowledge distillation)
+/// because BN folds into a static per-channel affine at inference, which is
+/// SC-friendly (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// Standard ViT LayerNorm.
+    Layer,
+    /// BatchNorm1d over tokens (the SC-friendly variant).
+    Batch,
+}
+
+/// Which softmax the attention uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SoftmaxKind {
+    /// Exact (stable) softmax.
+    Exact,
+    /// Iterative approximate softmax (Algorithm 1) with `k` Euler steps,
+    /// built from differentiable graph ops so fine-tuning can adapt to it.
+    IterApprox {
+        /// Euler step count.
+        k: usize,
+    },
+}
+
+/// ViT-lite hyperparameters.
+///
+/// The default mirrors the paper's lightweight ViT (7 layers, 4 heads,
+/// following \[24\]) at the reduced width documented in DESIGN.md (S3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VitConfig {
+    /// Square image side.
+    pub image: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Square patch side (must divide `image`).
+    pub patch: usize,
+    /// Embedding dimension (must be divisible by `heads`).
+    pub dim: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP hidden dim = `mlp_ratio · dim`.
+    pub mlp_ratio: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Normalization flavour.
+    pub norm: NormKind,
+    /// Softmax flavour.
+    pub softmax: SoftmaxKind,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl Default for VitConfig {
+    fn default() -> Self {
+        VitConfig {
+            image: 16,
+            channels: 3,
+            patch: 4,
+            dim: 32,
+            layers: 7,
+            heads: 4,
+            mlp_ratio: 2,
+            classes: 10,
+            norm: NormKind::Batch,
+            softmax: SoftmaxKind::Exact,
+            seed: 42,
+        }
+    }
+}
+
+impl VitConfig {
+    /// Number of image patches.
+    pub fn num_patches(&self) -> usize {
+        (self.image / self.patch) * (self.image / self.patch)
+    }
+
+    /// Sequence length including the class token.
+    pub fn seq_len(&self) -> usize {
+        self.num_patches() + 1
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Flattened patch input dimension.
+    pub fn patch_dim(&self) -> usize {
+        self.channels * self.patch * self.patch
+    }
+
+    /// Validates divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch ∤ image` or `heads ∤ dim` or anything is zero.
+    pub fn validate(&self) {
+        assert!(self.image > 0 && self.patch > 0 && self.dim > 0, "zero-sized config");
+        assert!(self.layers > 0 && self.heads > 0 && self.classes > 0, "zero-sized config");
+        assert_eq!(self.image % self.patch, 0, "patch must divide image");
+        assert_eq!(self.dim % self.heads, 0, "heads must divide dim");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_shaped() {
+        let c = VitConfig::default();
+        c.validate();
+        assert_eq!(c.layers, 7);
+        assert_eq!(c.heads, 4);
+        assert_eq!(c.num_patches(), 16);
+        assert_eq!(c.seq_len(), 17);
+        assert_eq!(c.head_dim(), 8);
+        assert_eq!(c.patch_dim(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch must divide image")]
+    fn validate_rejects_bad_patch() {
+        VitConfig { image: 10, patch: 4, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide dim")]
+    fn validate_rejects_bad_heads() {
+        VitConfig { dim: 30, heads: 4, ..Default::default() }.validate();
+    }
+}

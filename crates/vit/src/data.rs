@@ -1,0 +1,317 @@
+//! SynthCIFAR: seeded procedural image-classification datasets.
+//!
+//! Stand-in for CIFAR-10/100 (DESIGN.md substitution S2): class-conditioned
+//! procedural patterns (gratings, blobs, checkers, color splits, rings) with
+//! per-sample jitter and noise. The 10-class variant is comfortably
+//! learnable by the ViT-lite; the 100-class variant packs many more classes
+//! into the same pattern space, reproducing CIFAR-100's relative difficulty.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ascend_tensor::Tensor;
+
+/// An in-memory labelled image dataset (normalized to roughly `[-1, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    image: usize,
+    channels: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        self.image
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Labels of the given sample indices.
+    pub fn labels_for(&self, indices: &[usize]) -> Vec<usize> {
+        indices.iter().map(|&i| self.labels[i]).collect()
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Extracts non-overlapping `patch × patch` patches for the given
+    /// samples, flattened to `[batch·num_patches, channels·patch²]` in the
+    /// layout the ViT's patch embedding expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` does not divide the image side or an index is out
+    /// of range.
+    pub fn patches(&self, indices: &[usize], patch: usize) -> Tensor {
+        assert_eq!(self.image % patch, 0, "patch must divide image side");
+        let grid = self.image / patch;
+        let np = grid * grid;
+        let pd = self.channels * patch * patch;
+        let hw = self.image * self.image;
+        let mut out = vec![0.0f32; indices.len() * np * pd];
+        for (bi, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.len(), "sample index {idx} out of range");
+            let img = &self.images.data()[idx * self.channels * hw..(idx + 1) * self.channels * hw];
+            for gy in 0..grid {
+                for gx in 0..grid {
+                    let pidx = gy * grid + gx;
+                    let base = (bi * np + pidx) * pd;
+                    let mut o = base;
+                    for c in 0..self.channels {
+                        for py in 0..patch {
+                            for px in 0..patch {
+                                let y = gy * patch + py;
+                                let x = gx * patch + px;
+                                out[o] = img[c * hw + y * self.image + x];
+                                o += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[indices.len() * np, pd])
+    }
+}
+
+/// Generates the train/test pair of SynthCIFAR datasets.
+///
+/// ```
+/// use ascend_vit::data::synth_cifar;
+///
+/// let (train, test) = synth_cifar(10, 200, 50, 16, 7);
+/// assert_eq!(train.len(), 200);
+/// assert_eq!(test.len(), 50);
+/// assert_eq!(train.classes(), 10);
+/// ```
+pub fn synth_cifar(
+    classes: usize,
+    n_train: usize,
+    n_test: usize,
+    image: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    let train = generate(classes, n_train, image, seed);
+    let test = generate(classes, n_test, image, seed.wrapping_add(0x5EED_CAFE));
+    (train, test)
+}
+
+fn generate(classes: usize, n: usize, image: usize, seed: u64) -> Dataset {
+    assert!(classes > 0, "need at least one class");
+    let channels = 3;
+    let hw = image * image;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * channels * hw];
+    let mut labels = Vec::with_capacity(n);
+    for s in 0..n {
+        let label = s % classes;
+        labels.push(label);
+        let img = &mut data[s * channels * hw..(s + 1) * channels * hw];
+        render_class(img, label, image, &mut rng);
+    }
+    Dataset {
+        images: Tensor::from_vec(data, &[n, channels * hw]),
+        labels,
+        image,
+        channels,
+        classes,
+    }
+}
+
+/// Class-conditioned parameters derived from the label via the golden ratio
+/// so that arbitrarily many classes spread over the pattern space.
+fn class_params(label: usize) -> (usize, f32, f32, [f32; 3], [f32; 3]) {
+    const PHI: f32 = 0.618_034;
+    let family = label % 5;
+    let t = (label as f32 * PHI).fract();
+    let angle = t * std::f32::consts::PI;
+    let freq = 1.0 + ((label / 5) as f32 * PHI).fract() * 3.0;
+    let fg = hsv_ish(t);
+    let bg = hsv_ish((t + 0.5).fract());
+    (family, angle, freq, fg, bg)
+}
+
+fn hsv_ish(t: f32) -> [f32; 3] {
+    let a = (t * std::f32::consts::TAU).sin() * 0.5 + 0.5;
+    let b = ((t + 1.0 / 3.0) * std::f32::consts::TAU).sin() * 0.5 + 0.5;
+    let c = ((t + 2.0 / 3.0) * std::f32::consts::TAU).sin() * 0.5 + 0.5;
+    [a, b, c]
+}
+
+fn render_class(img: &mut [f32], label: usize, image: usize, rng: &mut StdRng) {
+    let (family, angle, freq, fg, bg) = class_params(label);
+    let hw = image * image;
+    // Per-sample jitter.
+    let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+    let jx: f32 = rng.random_range(-1.5..1.5);
+    let jy: f32 = rng.random_range(-1.5..1.5);
+    let amp: f32 = rng.random_range(0.75..1.15);
+    let noise_sigma: f32 = rng.random_range(0.08..0.18);
+    let (sin_a, cos_a) = angle.sin_cos();
+    let half = image as f32 / 2.0;
+
+    for y in 0..image {
+        for x in 0..image {
+            let xf = x as f32 - half + jx;
+            let yf = y as f32 - half + jy;
+            // Pattern intensity in [0, 1].
+            let p = match family {
+                0 => {
+                    // Oriented grating.
+                    let u = (xf * cos_a + yf * sin_a) * freq / image as f32;
+                    (u * std::f32::consts::TAU + phase).sin() * 0.5 + 0.5
+                }
+                1 => {
+                    // Gaussian blob at a class-dependent position.
+                    let cx = cos_a * half * 0.5;
+                    let cy = sin_a * half * 0.5;
+                    let d2 = (xf - cx).powi(2) + (yf - cy).powi(2);
+                    (-d2 / (2.0 * (1.5 + freq).powi(2))).exp()
+                }
+                2 => {
+                    // Checkerboard with class period.
+                    let period = (2.0 + freq) as i32;
+                    let cx = (x as i32 / period) % 2;
+                    let cy = (y as i32 / period) % 2;
+                    if cx == cy {
+                        0.85
+                    } else {
+                        0.15
+                    }
+                }
+                3 => {
+                    // Half-plane split at the class angle.
+                    if xf * cos_a + yf * sin_a > 0.0 {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                }
+                _ => {
+                    // Radial rings.
+                    let r = (xf * xf + yf * yf).sqrt();
+                    (r * freq * std::f32::consts::TAU / image as f32 + phase).sin() * 0.5 + 0.5
+                }
+            };
+            for c in 0..3 {
+                let u1: f32 = rng.random::<f32>().max(1e-7);
+                let u2: f32 = rng.random();
+                let noise = (-2.0 * u1.ln()).sqrt()
+                    * (std::f32::consts::TAU * u2).cos()
+                    * noise_sigma;
+                let v = bg[c] + (fg[c] - bg[c]) * p * amp + noise;
+                // Normalize to roughly [-1, 1].
+                img[c * hw + y * image + x] = (v * 2.0 - 1.0).clamp(-1.5, 1.5);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_balanced() {
+        let (a, _) = synth_cifar(10, 100, 10, 16, 3);
+        let (b, _) = synth_cifar(10, 100, 10, 16, 3);
+        assert_eq!(a, b);
+        // Balanced labels (round-robin).
+        for c in 0..10 {
+            assert_eq!(a.labels().iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let (train, test) = synth_cifar(10, 50, 50, 16, 3);
+        assert_ne!(train, test);
+    }
+
+    #[test]
+    fn images_are_normalized() {
+        let (train, _) = synth_cifar(10, 64, 8, 16, 9);
+        let data = train.patches(&(0..64).collect::<Vec<_>>(), 4);
+        let mean = data.mean_all();
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!(data.data().iter().all(|v| v.abs() <= 1.5));
+    }
+
+    #[test]
+    fn patches_shape_and_content() {
+        let (train, _) = synth_cifar(4, 8, 4, 16, 5);
+        let p = train.patches(&[0, 3], 4);
+        assert_eq!(p.shape(), &[2 * 16, 48]);
+        // Patches of the same image differ (non-constant images).
+        let a = &p.data()[0..48];
+        let b = &p.data()[48..96];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn classes_have_distinct_signatures() {
+        // Mean image per class should differ across classes — the dataset
+        // is learnable.
+        let (train, _) = synth_cifar(10, 200, 10, 16, 11);
+        let all: Vec<usize> = (0..200).collect();
+        let p = train.patches(&all, 16); // whole image as one patch
+        let labels = train.labels();
+        let dim = 3 * 16 * 16;
+        let mut means = vec![vec![0.0f32; dim]; 10];
+        let mut counts = vec![0usize; 10];
+        for (i, &l) in labels.iter().enumerate() {
+            for j in 0..dim {
+                means[l][j] += p.data()[i * dim + j];
+            }
+            counts[l] += 1;
+        }
+        for (m, c) in means.iter_mut().zip(counts.iter()) {
+            for v in m.iter_mut() {
+                *v /= *c as f32;
+            }
+        }
+        let mut min_dist = f32::INFINITY;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let d: f32 = means[a]
+                    .iter()
+                    .zip(means[b].iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f32>()
+                    .sqrt();
+                min_dist = min_dist.min(d);
+            }
+        }
+        assert!(min_dist > 0.5, "classes too similar: min centroid distance {min_dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "patch must divide")]
+    fn patches_validates_divisibility() {
+        let (train, _) = synth_cifar(2, 4, 2, 16, 1);
+        train.patches(&[0], 5);
+    }
+}

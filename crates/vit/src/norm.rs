@@ -1,0 +1,246 @@
+//! Normalization layers: LayerNorm and the SC-friendly BatchNorm swap.
+//!
+//! The paper replaces LayerNorm with BatchNorm before quantization (§V):
+//! BN's statistics freeze into a static per-channel affine at inference,
+//! which maps onto SC scale factors, whereas LN needs per-token statistics
+//! at run time. The swap costs <0.1% accuracy under KD in the paper.
+
+use std::cell::RefCell;
+
+use ascend_tensor::{Tensor, Var};
+
+use crate::binder::Binder;
+use crate::config::NormKind;
+
+const EPS: f32 = 1e-5;
+const BN_MOMENTUM: f32 = 0.1;
+
+/// Whether a forward pass updates statistics (training) or consumes the
+/// frozen running statistics (evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates.
+    Train,
+    /// Inference: frozen running statistics.
+    Eval,
+}
+
+/// A normalization layer over the feature axis of `[n, d]` inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Norm {
+    kind: NormKind,
+    /// Scale γ, `[d]`.
+    pub gamma: Tensor,
+    /// Shift β, `[d]`.
+    pub beta: Tensor,
+    running_mean: RefCell<Vec<f32>>,
+    running_var: RefCell<Vec<f32>>,
+}
+
+impl Norm {
+    /// Creates a unit-γ zero-β layer of width `d`.
+    pub fn new(kind: NormKind, d: usize) -> Self {
+        Norm {
+            kind,
+            gamma: Tensor::ones(&[d]),
+            beta: Tensor::zeros(&[d]),
+            running_mean: RefCell::new(vec![0.0; d]),
+            running_var: RefCell::new(vec![1.0; d]),
+        }
+    }
+
+    /// The flavour.
+    pub fn kind(&self) -> NormKind {
+        self.kind
+    }
+
+    /// Frozen running mean (BatchNorm only; zeros for LayerNorm).
+    pub fn running_mean(&self) -> Vec<f32> {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Frozen running variance (BatchNorm only; ones for LayerNorm).
+    pub fn running_var(&self) -> Vec<f32> {
+        self.running_var.borrow().clone()
+    }
+
+    /// Number of trainable tensors (γ and β).
+    pub const PARAM_COUNT: usize = 2;
+
+    /// Appends γ, β to the parameter list (bind-order contract).
+    pub fn collect_params<'a>(&'a mut self, out: &mut Vec<&'a mut Tensor>) {
+        out.push(&mut self.gamma);
+        out.push(&mut self.beta);
+    }
+
+    /// Forward over `[n, d]`.
+    pub fn forward<'g>(&self, b: &mut Binder<'g>, x: Var<'g>, mode: Mode) -> Var<'g> {
+        let gamma = b.bind(&self.gamma);
+        let beta = b.bind(&self.beta);
+        let normalized = match (self.kind, mode) {
+            (NormKind::Layer, _) => {
+                // Per-row statistics.
+                let mu = x.mean_axis1();
+                let centered = x.broadcast_col_add(mu.neg());
+                let var = centered.square().mean_axis1();
+                let inv = var.rsqrt_eps(EPS);
+                centered.broadcast_col_mul(inv)
+            }
+            (NormKind::Batch, Mode::Train) => {
+                // Per-column batch statistics + running-stat update.
+                let mu = x.mean_axis0();
+                let centered = x.broadcast_row_add(mu.neg());
+                let var = centered.square().mean_axis0();
+                {
+                    let mu_v = mu.value();
+                    let var_v = var.value();
+                    let mut rm = self.running_mean.borrow_mut();
+                    let mut rv = self.running_var.borrow_mut();
+                    for j in 0..rm.len() {
+                        rm[j] = (1.0 - BN_MOMENTUM) * rm[j] + BN_MOMENTUM * mu_v.data()[j];
+                        rv[j] = (1.0 - BN_MOMENTUM) * rv[j] + BN_MOMENTUM * var_v.data()[j];
+                    }
+                }
+                let inv = var.rsqrt_eps(EPS);
+                centered.broadcast_row_mul(inv)
+            }
+            (NormKind::Batch, Mode::Eval) => {
+                let g = b.graph();
+                let rm = self.running_mean.borrow();
+                let rv = self.running_var.borrow();
+                let d = rm.len();
+                let neg_mu = g.constant(Tensor::from_vec(rm.iter().map(|v| -v).collect(), &[d]));
+                let inv = g.constant(Tensor::from_vec(
+                    rv.iter().map(|v| 1.0 / (v + EPS).sqrt()).collect(),
+                    &[d],
+                ));
+                x.broadcast_row_add(neg_mu).broadcast_row_mul(inv)
+            }
+        };
+        normalized.broadcast_row_mul(gamma).broadcast_row_add(beta)
+    }
+
+    /// The folded inference-time affine `(scale, shift)` per channel — what
+    /// the SC engine bakes into its thermometer scale factors. Only
+    /// meaningful for BatchNorm (LayerNorm cannot fold).
+    pub fn folded_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let rm = self.running_mean.borrow();
+        let rv = self.running_var.borrow();
+        let scale: Vec<f32> = self
+            .gamma
+            .data()
+            .iter()
+            .zip(rv.iter())
+            .map(|(g, v)| g / (v + EPS).sqrt())
+            .collect();
+        let shift: Vec<f32> = self
+            .beta
+            .data()
+            .iter()
+            .zip(scale.iter().zip(rm.iter()))
+            .map(|(b, (s, m))| b - s * m)
+            .collect();
+        (scale, shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascend_tensor::Graph;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(vec![1.0, -2.0, 3.0, 5.0, 0.0, -1.0], &[3, 2])
+    }
+
+    #[test]
+    fn layernorm_rows_have_zero_mean_unit_var() {
+        let g = Graph::new();
+        let mut b = Binder::new(&g);
+        let norm = Norm::new(NormKind::Layer, 2);
+        let x = g.leaf(sample());
+        let y = norm.forward(&mut b, x, Mode::Train).value();
+        for i in 0..3 {
+            let row = &y.data()[i * 2..(i + 1) * 2];
+            let mean: f32 = row.iter().sum::<f32>() / 2.0;
+            assert!(mean.abs() < 1e-5, "row {i} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_train_columns_are_standardized() {
+        let g = Graph::new();
+        let mut b = Binder::new(&g);
+        let norm = Norm::new(NormKind::Batch, 2);
+        let x = g.leaf(sample());
+        let y = norm.forward(&mut b, x, Mode::Train).value();
+        for j in 0..2 {
+            let col: Vec<f32> = (0..3).map(|i| y.data()[i * 2 + j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 3.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5, "col {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "col {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_updates_running_stats_only_in_train() {
+        let g = Graph::new();
+        let norm = Norm::new(NormKind::Batch, 2);
+        let before = norm.running_mean();
+        {
+            let mut b = Binder::new(&g);
+            let x = g.leaf(sample());
+            let _ = norm.forward(&mut b, x, Mode::Eval);
+        }
+        assert_eq!(norm.running_mean(), before, "eval must not touch stats");
+        {
+            let mut b = Binder::new(&g);
+            let x = g.leaf(sample());
+            let _ = norm.forward(&mut b, x, Mode::Train);
+        }
+        assert_ne!(norm.running_mean(), before, "train must update stats");
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let g = Graph::new();
+        let norm = Norm::new(NormKind::Batch, 2);
+        // Train a few times so running stats move toward batch stats.
+        for _ in 0..200 {
+            let mut b = Binder::new(&g);
+            let x = g.leaf(sample());
+            let _ = norm.forward(&mut b, x, Mode::Train);
+        }
+        let mut b = Binder::new(&g);
+        let x = g.leaf(sample());
+        let y = norm.forward(&mut b, x, Mode::Eval).value();
+        // Columns should now be approximately standardized in eval too.
+        for j in 0..2 {
+            let col: Vec<f32> = (0..3).map(|i| y.data()[i * 2 + j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 0.1, "col {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn folded_affine_matches_eval_forward() {
+        let g = Graph::new();
+        let norm = Norm::new(NormKind::Batch, 2);
+        for _ in 0..50 {
+            let mut b = Binder::new(&g);
+            let x = g.leaf(sample());
+            let _ = norm.forward(&mut b, x, Mode::Train);
+        }
+        let (scale, shift) = norm.folded_affine();
+        let mut b = Binder::new(&g);
+        let x = g.leaf(sample());
+        let y = norm.forward(&mut b, x, Mode::Eval).value();
+        for i in 0..3 {
+            for j in 0..2 {
+                let manual = sample().data()[i * 2 + j] * scale[j] + shift[j];
+                assert!((y.data()[i * 2 + j] - manual).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! LSQ quantization and the `W·-A·-R·` precision plans.
+//!
+//! ASCEND quantizes weights and activations to a 2-bit BSL and the residual
+//! stream to a 16-bit BSL ("W2-A2-R16", following \[15\], §V). An `L`-bit
+//! thermometer BSL represents `L + 1` integer levels in `[−L/2, L/2]`
+//! (paper §II-A), so the LSQ clip bounds are `qn = −L/2`, `qp = L/2`:
+//! 2-bit ⇒ ternary weights/activations, 16-bit ⇒ 17 levels.
+
+use ascend_tensor::{Tensor, Var};
+
+/// One tensor-site precision: the thermometer BSL, or `None` for FP.
+pub type SitePrecision = Option<usize>;
+
+/// A `W·-A·-R·` precision plan.
+///
+/// ```
+/// use ascend_vit::quant::PrecisionPlan;
+///
+/// let p = PrecisionPlan::w2_a2_r16();
+/// assert_eq!(p.weights, Some(2));
+/// assert_eq!(p.acts, Some(2));
+/// assert_eq!(p.residual, Some(16));
+/// assert!(PrecisionPlan::fp().is_fp());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionPlan {
+    /// Linear-layer weight BSL.
+    pub weights: SitePrecision,
+    /// Activation BSL (inputs to linears / attention operands).
+    pub acts: SitePrecision,
+    /// Residual-stream BSL.
+    pub residual: SitePrecision,
+}
+
+impl PrecisionPlan {
+    /// Full precision (no quantization).
+    pub fn fp() -> Self {
+        PrecisionPlan { weights: None, acts: None, residual: None }
+    }
+
+    /// W16-A16-R16 — the first progressive-quantization step.
+    pub fn w16_a16_r16() -> Self {
+        PrecisionPlan { weights: Some(16), acts: Some(16), residual: Some(16) }
+    }
+
+    /// W16-A2-R16 — the second step.
+    pub fn w16_a2_r16() -> Self {
+        PrecisionPlan { weights: Some(16), acts: Some(2), residual: Some(16) }
+    }
+
+    /// W2-A2-R16 — the final SC precision.
+    pub fn w2_a2_r16() -> Self {
+        PrecisionPlan { weights: Some(2), acts: Some(2), residual: Some(16) }
+    }
+
+    /// W4-A4-R16 — an intermediate SC precision (extension beyond the
+    /// paper's sweep; 5-level weights/activations for accuracy-vs-area
+    /// studies with the same thermometer machinery).
+    pub fn w4_a4_r16() -> Self {
+        PrecisionPlan { weights: Some(4), acts: Some(4), residual: Some(16) }
+    }
+
+    /// True if nothing is quantized.
+    pub fn is_fp(&self) -> bool {
+        self.weights.is_none() && self.acts.is_none() && self.residual.is_none()
+    }
+
+    /// Human-readable name (`"W2-A2-R16"` style).
+    pub fn name(&self) -> String {
+        fn part(p: SitePrecision) -> String {
+            p.map_or("FP".to_string(), |l| l.to_string())
+        }
+        if self.is_fp() {
+            "FP".to_string()
+        } else {
+            format!("W{}-A{}-R{}", part(self.weights), part(self.acts), part(self.residual))
+        }
+    }
+}
+
+/// LSQ clip bounds for a thermometer BSL: `(−L/2, L/2)`.
+pub fn clip_bounds(bsl: usize) -> (f32, f32) {
+    let half = (bsl / 2) as f32;
+    (-half, half)
+}
+
+/// A learned-step quantizer site: one scalar step parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsqSite {
+    /// The learned step (a 1-element tensor so the optimizer can own it).
+    pub step: Tensor,
+    /// Mean |x| observed at the most recent forward through this site —
+    /// written on every [`LsqSite::apply`], read by step calibration.
+    observed: std::cell::Cell<f32>,
+}
+
+impl LsqSite {
+    /// Creates a site with the given initial step.
+    pub fn new(step: f32) -> Self {
+        LsqSite { step: Tensor::scalar(step.max(1e-6)), observed: std::cell::Cell::new(0.0) }
+    }
+
+    /// LSQ's recommended initialization from sample statistics:
+    /// `2·E[|x|]/√qp`.
+    pub fn init_from(values: &Tensor, bsl: usize) -> Self {
+        let mean_abs =
+            values.data().iter().map(|v| v.abs()).sum::<f32>() / values.numel().max(1) as f32;
+        let (_, qp) = clip_bounds(bsl);
+        Self::new(2.0 * mean_abs / qp.max(1.0).sqrt())
+    }
+
+    /// Applies fake quantization in-graph (STE + LSQ step gradient); passes
+    /// through untouched when `bsl` is `None`.
+    ///
+    /// The step parameter is *always* bound (even in FP mode) so the bind
+    /// order stays aligned with the model's parameter order across plans.
+    pub fn apply<'g>(
+        &self,
+        binder: &mut crate::binder::Binder<'g>,
+        x: Var<'g>,
+        bsl: SitePrecision,
+    ) -> Var<'g> {
+        {
+            let v = x.value();
+            let mean_abs =
+                v.data().iter().map(|a| a.abs()).sum::<f32>() / v.numel().max(1) as f32;
+            self.observed.set(mean_abs);
+        }
+        let step = binder.bind(&self.step);
+        match bsl {
+            None => x,
+            Some(l) => {
+                let (qn, qp) = clip_bounds(l);
+                let numel = x.value().numel() as f32;
+                let grad_scale = 1.0 / (numel * qp.max(1.0)).sqrt();
+                x.lsq_quantize(step, qn, qp, grad_scale)
+            }
+        }
+    }
+
+    /// The quantization step value as an f32 (for the SC engine's scale
+    /// factors).
+    pub fn step_value(&self) -> f32 {
+        self.step.item().abs().max(1e-8)
+    }
+
+    /// Re-initializes the step from the most recently observed statistics
+    /// using the LSQ rule `2·E[|x|]/√qp` for the given BSL.
+    pub fn recalibrate(&mut self, bsl: usize) {
+        let (_, qp) = clip_bounds(bsl);
+        let obs = self.observed.get().max(1e-3);
+        self.step = Tensor::scalar((2.0 * obs / qp.max(1.0).sqrt()).max(1e-6));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_names() {
+        assert_eq!(PrecisionPlan::fp().name(), "FP");
+        assert_eq!(PrecisionPlan::w16_a16_r16().name(), "W16-A16-R16");
+        assert_eq!(PrecisionPlan::w16_a2_r16().name(), "W16-A2-R16");
+        assert_eq!(PrecisionPlan::w2_a2_r16().name(), "W2-A2-R16");
+        assert_eq!(PrecisionPlan::w4_a4_r16().name(), "W4-A4-R16");
+    }
+
+    #[test]
+    fn w4_plan_produces_five_levels() {
+        let g = ascend_tensor::Graph::new();
+        let mut b = crate::binder::Binder::new(&g);
+        let x = g.leaf(Tensor::from_vec(
+            vec![-3.0, -1.2, -0.4, 0.0, 0.4, 1.2, 3.0],
+            &[7],
+        ));
+        let site = LsqSite::new(1.0);
+        let q = site.apply(&mut b, x, Some(4));
+        for v in q.value().data() {
+            assert!(
+                [-2.0, -1.0, 0.0, 1.0, 2.0].contains(v),
+                "not a 5-level value: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn clip_bounds_follow_bsl_levels() {
+        assert_eq!(clip_bounds(2), (-1.0, 1.0)); // ternary
+        assert_eq!(clip_bounds(16), (-8.0, 8.0)); // 17 levels
+    }
+
+    #[test]
+    fn ternary_quantization_produces_three_levels() {
+        let g = ascend_tensor::Graph::new();
+        let mut b = crate::binder::Binder::new(&g);
+        let x = g.leaf(Tensor::from_vec(vec![-2.0, -0.2, 0.1, 0.6, 3.0], &[5]));
+        let site = LsqSite::new(1.0);
+        let q = site.apply(&mut b, x, Some(2));
+        let vals = q.value();
+        for v in vals.data() {
+            assert!([-1.0, 0.0, 1.0].contains(v), "non-ternary value {v}");
+        }
+        // Untouched in FP mode (but the step is still bound for ordering).
+        let q_fp = site.apply(&mut b, x, None);
+        assert_eq!(q_fp.value(), x.value());
+        assert_eq!(b.len(), 2, "step bound in both modes");
+    }
+
+    #[test]
+    fn step_init_scales_with_data_magnitude() {
+        let small = LsqSite::init_from(&Tensor::full(&[10], 0.1), 2);
+        let large = LsqSite::init_from(&Tensor::full(&[10], 1.0), 2);
+        assert!(large.step.item() > small.step.item());
+        assert!(small.step.item() > 0.0);
+    }
+
+    #[test]
+    fn step_gradient_flows() {
+        let g = ascend_tensor::Graph::new();
+        let mut b = crate::binder::Binder::new(&g);
+        let x = g.leaf(Tensor::from_vec(vec![0.3, -0.4, 0.8], &[3]));
+        let site = LsqSite::new(0.5);
+        let q = site.apply(&mut b, x, Some(16));
+        let loss = q.square().sum_all();
+        g.backward(loss);
+        assert!(g.grad(x).is_some(), "STE gradient must reach x");
+        let gs = b.grads();
+        assert_eq!(gs.len(), 1);
+        assert!(gs[0].item().abs() >= 0.0, "step grad collected");
+    }
+}

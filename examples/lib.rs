@@ -1,0 +1,10 @@
+//! Shared helpers for the ASCEND example binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}

@@ -1,0 +1,86 @@
+//! Integration: trained quantized ViT → SC engine, end to end.
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend_vit::data::synth_cifar;
+use ascend_vit::train::{evaluate, train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, SoftmaxKind, VitConfig, VitModel};
+
+fn trained_model() -> (VitModel, ascend_vit::data::Dataset, ascend_vit::data::Dataset) {
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, test) = synth_cifar(4, 128, 64, 8, 21);
+    let tc = TrainConfig { epochs: 6, batch: 16, lr: 2e-3, ..Default::default() };
+    train_model(&mut model, None, &train, &test, &tc);
+    model.set_plan(PrecisionPlan::w2_a2_r16());
+    let calib = train.patches(&(0..8).collect::<Vec<_>>(), 4);
+    model.calibrate_steps(&calib, 8);
+    train_model(&mut model, None, &train, &test, &tc);
+    (model, train, test)
+}
+
+#[test]
+fn quantized_training_reaches_useful_accuracy() {
+    let (model, _, test) = trained_model();
+    let acc = evaluate(&model, &test, 16);
+    assert!(acc > 0.4, "W2-A2-R16 model should beat 25% chance clearly, got {acc}");
+}
+
+#[test]
+fn sc_engine_accuracy_tracks_float_accuracy() {
+    let (model, train, test) = trained_model();
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).unwrap();
+    let sc = engine.accuracy(&test, 16).unwrap();
+    let float = evaluate(&model, &test, 16);
+    assert!(
+        (sc - float).abs() < 0.25,
+        "SC engine accuracy {sc} should track float accuracy {float}"
+    );
+}
+
+#[test]
+fn engine_deterministic_across_runs() {
+    let (model, train, test) = trained_model();
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).unwrap();
+    let idx: Vec<usize> = (0..8).collect();
+    let patches = test.patches(&idx, 4);
+    let a = engine.forward(&patches, 8).unwrap();
+    let b = engine.forward(&patches, 8).unwrap();
+    assert_eq!(a, b, "deterministic SC pipeline must be reproducible");
+}
+
+#[test]
+fn float_model_softmax_swap_changes_little_after_training_with_it() {
+    // Train *with* the approximate softmax (as stage 2 does), then verify
+    // exact-softmax eval is close — the adaptation argument of §V.
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        softmax: SoftmaxKind::IterApprox { k: 3 },
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, test) = synth_cifar(4, 96, 48, 8, 31);
+    let tc = TrainConfig { epochs: 6, batch: 16, lr: 2e-3, ..Default::default() };
+    train_model(&mut model, None, &train, &test, &tc);
+    let acc_approx = evaluate(&model, &test, 16);
+    model.set_softmax(SoftmaxKind::Exact);
+    let acc_exact = evaluate(&model, &test, 16);
+    assert!(
+        (acc_approx - acc_exact).abs() < 0.3,
+        "approx-trained model should transfer: approx {acc_approx} exact {acc_exact}"
+    );
+}
