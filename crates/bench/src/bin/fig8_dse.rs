@@ -54,16 +54,15 @@ fn main() {
     let chunk = grid.len().div_ceil(threads);
     let mut results: Vec<Option<(IterSoftmaxConfig, f64, f64)>> = vec![None; grid.len()];
     let lib_ref = &lib;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, cfgs) in results.chunks_mut(chunk).zip(grid.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (out, cfg) in slot.iter_mut().zip(cfgs.iter()) {
                     *out = evaluate(lib_ref, *cfg);
                 }
             });
         }
-    })
-    .expect("worker threads join");
+    });
 
     let feasible: Vec<(IterSoftmaxConfig, f64, f64)> =
         results.into_iter().flatten().collect();

@@ -164,7 +164,7 @@ impl ScEngine {
                     / row.len() as f64;
                 score += mae + 4.0 * (got[top] - want[top]).abs();
             }
-            let better = softmax.as_ref().map_or(true, |(best, _)| score < *best);
+            let better = softmax.as_ref().is_none_or(|(best, _)| score < *best);
             if better {
                 softmax = Some((score, block));
             }
@@ -475,7 +475,7 @@ impl Probe {
             }
             gelu_absmax.push(mx);
             let act = fake_quant(
-                &pre.map(|v| ascend_tensor::graph::gelu_f(v)),
+                &pre.map(ascend_tensor::graph::gelu_f),
                 mlp_mid.step_value(),
                 plan.acts,
             );

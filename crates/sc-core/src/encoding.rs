@@ -120,7 +120,7 @@ impl Thermometer {
     /// Returns [`ScError::InvalidParam`] for odd/zero `len` or a scale that
     /// is not finite and positive.
     pub fn new(len: usize, scale: f64) -> Result<Self, ScError> {
-        if len == 0 || len % 2 != 0 {
+        if len == 0 || !len.is_multiple_of(2) {
             return Err(ScError::InvalidParam {
                 name: "len",
                 reason: format!("thermometer length must be even and non-zero, got {len}"),
@@ -141,7 +141,7 @@ impl Thermometer {
     ///
     /// Same conditions as [`Thermometer::new`].
     pub fn with_range(len: usize, max_abs: f64) -> Result<Self, ScError> {
-        if len == 0 || len % 2 != 0 {
+        if len == 0 || !len.is_multiple_of(2) {
             return Err(ScError::InvalidParam {
                 name: "len",
                 reason: format!("thermometer length must be even and non-zero, got {len}"),

@@ -64,14 +64,14 @@ pub fn rescale(x: &ThermStream, s: usize, mode: RescaleMode) -> Result<ThermStre
     if s == 1 {
         return Ok(x.clone());
     }
-    if x.len() % s != 0 {
+    if !x.len().is_multiple_of(s) {
         return Err(ScError::InvalidParam {
             name: "s",
             reason: format!("rate {s} does not divide BSL {}", x.len()),
         });
     }
     let out_len = x.len() / s;
-    if out_len == 0 || out_len % 2 != 0 {
+    if out_len == 0 || !out_len.is_multiple_of(2) {
         return Err(ScError::InvalidParam {
             name: "s",
             reason: format!("rate {s} leaves an odd/zero output BSL {out_len}"),
@@ -129,13 +129,13 @@ pub fn rescale_rational(
 /// Returns [`ScError::InvalidParam`] if `out_len` is zero, odd, larger than
 /// the input, or of different parity than the input length.
 pub fn truncate_center(x: &ThermStream, out_len: usize) -> Result<ThermStream, ScError> {
-    if out_len == 0 || out_len % 2 != 0 {
+    if out_len == 0 || !out_len.is_multiple_of(2) {
         return Err(ScError::InvalidParam {
             name: "out_len",
             reason: format!("output length must be even and non-zero, got {out_len}"),
         });
     }
-    if out_len > x.len() || (x.len() - out_len) % 2 != 0 {
+    if out_len > x.len() || !(x.len() - out_len).is_multiple_of(2) {
         return Err(ScError::InvalidParam {
             name: "out_len",
             reason: format!("cannot center a {out_len}-bit window in a {}-bit stream", x.len()),
@@ -161,7 +161,7 @@ pub fn truncate_center(x: &ThermStream, out_len: usize) -> Result<ThermStream, S
 /// Returns [`ScError::InvalidParam`] if `out_len` is zero or odd, or the
 /// input is empty.
 pub fn resample(x: &ThermStream, out_len: usize, mode: RescaleMode) -> Result<ThermStream, ScError> {
-    if out_len == 0 || out_len % 2 != 0 {
+    if out_len == 0 || !out_len.is_multiple_of(2) {
         return Err(ScError::InvalidParam {
             name: "out_len",
             reason: format!("output length must be even and non-zero, got {out_len}"),
@@ -175,17 +175,30 @@ pub fn resample(x: &ThermStream, out_len: usize, mode: RescaleMode) -> Result<Th
         });
     }
     let sorted = x.normalized();
-    let bits = crate::Bitstream::from_fn(out_len, |j| {
-        // Tap position inside group j of out_len equal real-width groups.
-        let pos = match mode {
-            RescaleMode::Floor => ((j + 1) * l - 1) / out_len,
-            RescaleMode::Round => ((2 * j + 1) * l) / (2 * out_len),
-            RescaleMode::Ceil => (j * l + out_len - 1) / out_len,
-        }
-        .min(l - 1);
-        sorted.bits().get(pos)
-    });
+    let bits =
+        crate::Bitstream::from_fn(out_len, |j| sorted.bits().get(resample_tap(j, l, out_len, mode)));
     ThermStream::new(bits, x.scale() * l as f64 / out_len as f64)
+}
+
+/// Input-bit position tapped by output bit `j` of a [`resample`] block with
+/// `l` input bits and `out_len` output taps.
+///
+/// Exposed so level-domain twins of the hardware (e.g. the iterative-softmax
+/// simulator in `sc-nonlinear`) stay bit-identical to the resampler without
+/// duplicating the tap schedule.
+///
+/// # Panics
+///
+/// Panics if `l` or `out_len` is zero.
+pub fn resample_tap(j: usize, l: usize, out_len: usize, mode: RescaleMode) -> usize {
+    assert!(l > 0 && out_len > 0, "resample_tap requires non-empty streams");
+    // Tap position inside group j of out_len equal real-width groups.
+    match mode {
+        RescaleMode::Floor => ((j + 1) * l - 1) / out_len,
+        RescaleMode::Round => ((2 * j + 1) * l) / (2 * out_len),
+        RescaleMode::Ceil => (j * l).div_ceil(out_len),
+    }
+    .min(l - 1)
 }
 
 /// Aligns a stream onto an exact `target` scale with the nearest feasible
@@ -239,7 +252,7 @@ pub fn align_to(
     scale: f64,
     mode: RescaleMode,
 ) -> Result<ThermStream, ScError> {
-    if len == 0 || x.len() % len != 0 {
+    if len == 0 || !x.len().is_multiple_of(len) {
         return Err(ScError::InvalidParam {
             name: "len",
             reason: format!("target BSL {len} does not divide source BSL {}", x.len()),

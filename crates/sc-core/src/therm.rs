@@ -36,7 +36,7 @@ impl ThermStream {
     /// Returns [`ScError::InvalidParam`] if `bits` has odd length (the level
     /// offset `L/2` must be integral) or `scale` is not finite and positive.
     pub fn new(bits: Bitstream, scale: f64) -> Result<Self, ScError> {
-        if bits.len() % 2 != 0 {
+        if !bits.len().is_multiple_of(2) {
             return Err(ScError::InvalidParam {
                 name: "bits",
                 reason: format!("thermometer length must be even, got {}", bits.len()),
@@ -58,7 +58,7 @@ impl ThermStream {
     /// Returns [`ScError::ValueOutOfRange`] if `|q| > len/2` and
     /// [`ScError::InvalidParam`] for an odd `len` or non-positive `scale`.
     pub fn from_level(q: i64, len: usize, scale: f64) -> Result<Self, ScError> {
-        if len % 2 != 0 {
+        if !len.is_multiple_of(2) {
             return Err(ScError::InvalidParam {
                 name: "len",
                 reason: format!("thermometer length must be even, got {len}"),
@@ -84,7 +84,7 @@ impl ThermStream {
     /// Panics if `len` is odd or `scale` is not finite and positive; use
     /// [`ThermStream::from_level`] for fallible construction.
     pub fn encode_clamped(x: f64, len: usize, scale: f64) -> Self {
-        assert!(len % 2 == 0, "thermometer length must be even");
+        assert!(len.is_multiple_of(2), "thermometer length must be even");
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
         let half = (len / 2) as i64;
         let q = (x / scale).round().clamp(-(half as f64), half as f64) as i64;

@@ -67,7 +67,7 @@ pub fn mul_saturating(
             reason: "cannot multiply zero-length thermometer streams".into(),
         });
     }
-    if out_len == 0 || out_len % 2 != 0 {
+    if out_len == 0 || !out_len.is_multiple_of(2) {
         return Err(ScError::InvalidParam {
             name: "out_len",
             reason: format!("output length must be even and non-zero, got {out_len}"),

@@ -363,12 +363,7 @@ impl LevelStream {
         let ones = self.ones();
         let mut count = 0i64;
         for j in 0..out_len {
-            let pos = match mode {
-                RescaleMode::Floor => ((j + 1) * l - 1) / out_len,
-                RescaleMode::Round => ((2 * j + 1) * l) / (2 * out_len),
-                RescaleMode::Ceil => (j * l + out_len - 1) / out_len,
-            }
-            .min(l - 1);
+            let pos = sc_core::rescale::resample_tap(j, l, out_len, mode);
             if (pos as i64) < ones {
                 count += 1;
             }
@@ -627,7 +622,7 @@ mod tests {
         // softmax(0,…,0) = 1/m and the iteration should stay there up to
         // quantization.
         let block = small_block(8);
-        let y = block.run(&vec![0.0; 8]).unwrap();
+        let y = block.run(&[0.0; 8]).unwrap();
         for v in &y {
             assert!((v - 0.125).abs() <= 2.0 * block.state_codec().scale(), "y = {y:?}");
         }

@@ -84,7 +84,7 @@ impl Graph {
             if let Some(back) = &node.backward {
                 let pgrads = back(&gout);
                 assert_eq!(pgrads.len(), node.parents.len(), "backward arity mismatch");
-                for (pid, pg) in node.parents.iter().zip(pgrads.into_iter()) {
+                for (pid, pg) in node.parents.iter().zip(pgrads) {
                     match &mut grads[*pid] {
                         Some(acc) => *acc = acc.add(&pg),
                         slot => *slot = Some(pg),
@@ -157,6 +157,9 @@ impl<'g> Var<'g> {
     }
 
     /// Elementwise addition (same shape).
+    // Method-call style is this API's idiom; `Var` handles are consumed by
+    // value, which std operator traits on references would obscure.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Var<'g>) -> Var<'g> {
         let out = self.value().add(&o.value());
         self.g.push(
@@ -167,6 +170,7 @@ impl<'g> Var<'g> {
     }
 
     /// Elementwise subtraction (same shape).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Var<'g>) -> Var<'g> {
         let out = self.value().sub(&o.value());
         self.g.push(
@@ -177,6 +181,7 @@ impl<'g> Var<'g> {
     }
 
     /// Elementwise multiplication (same shape).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Var<'g>) -> Var<'g> {
         let a = self.value();
         let b = o.value();
@@ -206,6 +211,7 @@ impl<'g> Var<'g> {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Var<'g> {
         self.scale(-1.0)
     }

@@ -55,7 +55,7 @@ impl<'g> Binder<'g> {
             .map(|v| {
                 self.g
                     .grad(*v)
-                    .unwrap_or_else(|| Tensor::zeros(&v.value().shape().to_vec()))
+                    .unwrap_or_else(|| Tensor::zeros(v.value().shape()))
             })
             .collect()
     }

@@ -281,7 +281,7 @@ mod tests {
         let labels = train.labels();
         let dim = 3 * 16 * 16;
         let mut means = vec![vec![0.0f32; dim]; 10];
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for (i, &l) in labels.iter().enumerate() {
             for j in 0..dim {
                 means[l][j] += p.data()[i * dim + j];
