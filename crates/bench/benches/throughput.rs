@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the serving runtime: serial `ScEngine::forward`
+//! vs the parallel `BatchRunner` at increasing worker counts.
+//!
+//! The acceptance bar for the runtime is > 1.5× images/s over serial at
+//! 4 workers on a multi-core runner; compare `serve_serial_batch32`
+//! against `serve_runner_w4_batch32`.
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend::serve::{BatchRunner, ServeConfig};
+use ascend_vit::data::synth_cifar;
+use ascend_vit::train::{train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, test) = synth_cifar(4, 64, 32, 8, 5);
+    train_model(
+        &mut model,
+        None,
+        &train,
+        &test,
+        &TrainConfig { epochs: 1, batch: 16, ..Default::default() },
+    );
+    model.set_plan(PrecisionPlan::w2_a2_r16());
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    model.calibrate_steps(&calib, 16);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).expect("compiles");
+
+    let n = 32usize;
+    let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
+
+    c.bench_function("serve_serial_batch32", |b| {
+        b.iter(|| black_box(engine.forward(black_box(&patches), n).expect("forward")))
+    });
+    for workers in [1usize, 2, 4] {
+        let runner = BatchRunner::new(
+            &engine,
+            ServeConfig { workers, micro_batch: 4, queue_depth: 0 },
+        )
+        .expect("runner builds");
+        c.bench_function(&format!("serve_runner_w{workers}_batch32"), |b| {
+            b.iter(|| black_box(runner.run_batch(black_box(&patches), n).expect("run_batch")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! and extracts the per-Bx Pareto fronts.
 
 use ascend::report::{eng, TextTable};
+use ascend::serve::{parallel_map, ServeConfig};
 use sc_core::rescale::RescaleMode;
 use sc_hw::pareto::{pareto_front, DesignPoint};
 use sc_hw::{blocks, CellLibrary};
@@ -49,20 +50,11 @@ fn main() {
     }
     println!("design grid: {} points (paper: 2916)", grid.len());
 
-    // Evaluate in parallel with scoped threads.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = grid.len().div_ceil(threads);
-    let mut results: Vec<Option<(IterSoftmaxConfig, f64, f64)>> = vec![None; grid.len()];
-    let lib_ref = &lib;
-    std::thread::scope(|scope| {
-        for (slot, cfgs) in results.chunks_mut(chunk).zip(grid.chunks(chunk)) {
-            scope.spawn(move || {
-                for (out, cfg) in slot.iter_mut().zip(cfgs.iter()) {
-                    *out = evaluate(lib_ref, *cfg);
-                }
-            });
-        }
-    });
+    // Evaluate in parallel on the workspace's shared parallel-map primitive;
+    // small chunks keep the workers load-balanced across the ragged
+    // per-design evaluation times.
+    let threads = ServeConfig::auto().resolved_workers();
+    let results = parallel_map(threads, 64, &grid, |_, cfg| evaluate(&lib, *cfg));
 
     let feasible: Vec<(IterSoftmaxConfig, f64, f64)> =
         results.into_iter().flatten().collect();

@@ -75,20 +75,74 @@ impl EngineConfig {
     }
 }
 
-/// Per-layer compiled artifacts.
+/// A quantized linear layer frozen at compile time: the fake-quantized
+/// weight matrix plus its bias.
+///
+/// Weight quantization is purely a function of the trained parameters and
+/// the precision plan, so the quantized matrices are materialized once at
+/// [`ScEngine::compile`] time instead of on every forward call.
+struct QuantLinear {
+    w: Tensor,
+    b: Tensor,
+}
+
+impl QuantLinear {
+    fn compile(lin: &ascend_vit::model::Linear, bsl: Option<usize>) -> QuantLinear {
+        QuantLinear {
+            w: fake_quant(&lin.w, lin.w_site.step_value(), bsl),
+            b: lin.b.clone(),
+        }
+    }
+}
+
+/// Per-layer compiled artifacts: folded norm affines, the GELU transfer
+/// table, the frozen quantized linears, and the quantizer step sizes
+/// snapshot from the model's sites.
 struct LayerPlan {
     norm1_affine: (Vec<f32>, Vec<f32>),
     norm2_affine: (Vec<f32>, Vec<f32>),
     gelu: GateAssistedSi,
+    q: QuantLinear,
+    k: QuantLinear,
+    v: QuantLinear,
+    proj: QuantLinear,
+    fc1: QuantLinear,
+    fc2: QuantLinear,
+    attn_in_step: f32,
+    attn_out_step: f32,
+    res1_step: f32,
+    res2_step: f32,
+    mlp_in_step: f32,
 }
 
 /// The compiled SC inference engine.
+///
+/// `compile` snapshots **everything** inference needs — quantized weights,
+/// folded affines, quantizer steps, transfer tables — into plain immutable
+/// data. The trained [`VitModel`] (which carries train-time interior
+/// mutability for BN statistics and range observers) is *not* retained, so
+/// a compiled engine is `Sync`: every forward entry point takes `&self`,
+/// and the [`crate::serve`] runtime fans a request queue out over a worker
+/// pool sharing one engine by reference — no cloning, no locking.
 pub struct ScEngine {
-    model: VitModel,
+    vit: ascend_vit::VitConfig,
+    plan: ascend_vit::PrecisionPlan,
     config: EngineConfig,
     softmax: IterSoftmaxBlock,
     layers: Vec<LayerPlan>,
     head_affine: (Vec<f32>, Vec<f32>),
+    patch_embed: QuantLinear,
+    head: QuantLinear,
+    cls_token: Tensor,
+    pos_embedding: Tensor,
+}
+
+/// Reusable per-thread scratch buffers for [`ScEngine::forward_one`].
+///
+/// Holding the scratch outside the per-image loop keeps the hot path free
+/// of repeated allocations; each serving worker owns one instance.
+pub struct ForwardScratch {
+    softmax_row: Vec<f64>,
 }
 
 impl ScEngine {
@@ -176,25 +230,52 @@ impl ScEngine {
             })?
             .1;
 
-        // Per-layer folded affines and GELU tables.
+        // Per-layer folded affines, GELU tables, pre-quantized weights, and
+        // quantizer-step snapshots: after this loop the engine never touches
+        // the model again.
+        let plan = model.plan();
         let mut layers = Vec::with_capacity(model.blocks().len());
         for (li, block) in model.blocks().iter().enumerate() {
             let (n1, n2) = block.norms();
-            let (_, mid_site) = block.mlp().sites();
+            let (in_site_a, out_site_a) = block.attn().sites();
+            let (res1, res2) = block.res_sites();
+            let (mlp_in, mid_site) = block.mlp().sites();
             let gelu_in =
                 Thermometer::with_range(config.gelu_bx, probe.gelu_absmax[li].max(0.5))?;
-            let act_bsl = model.plan().acts.unwrap_or(16);
+            let act_bsl = plan.acts.unwrap_or(16);
             let gelu_out = Thermometer::new(act_bsl, mid_site.step_value() as f64)?;
             let gelu = GateAssistedSi::compile(ref_fn::gelu, gelu_in, gelu_out)?;
             layers.push(LayerPlan {
                 norm1_affine: folded(n1),
                 norm2_affine: folded(n2),
                 gelu,
+                q: QuantLinear::compile(block.attn().q(), plan.weights),
+                k: QuantLinear::compile(block.attn().k(), plan.weights),
+                v: QuantLinear::compile(block.attn().v(), plan.weights),
+                proj: QuantLinear::compile(block.attn().proj(), plan.weights),
+                fc1: QuantLinear::compile(block.mlp().fc1(), plan.weights),
+                fc2: QuantLinear::compile(block.mlp().fc2(), plan.weights),
+                attn_in_step: in_site_a.step_value(),
+                attn_out_step: out_site_a.step_value(),
+                res1_step: res1.step_value(),
+                res2_step: res2.step_value(),
+                mlp_in_step: mlp_in.step_value(),
             });
         }
         let head_affine = folded(model.head_norm());
 
-        Ok(ScEngine { model: model.clone(), config, softmax, layers, head_affine })
+        Ok(ScEngine {
+            vit: model.config,
+            plan,
+            config,
+            softmax,
+            layers,
+            head_affine,
+            patch_embed: QuantLinear::compile(model.patch_embed(), plan.weights),
+            head: QuantLinear::compile(model.head(), plan.weights),
+            cls_token: model.cls_token().clone(),
+            pos_embedding: model.pos_embedding().clone(),
+        })
     }
 
     /// The engine configuration.
@@ -212,57 +293,134 @@ impl ScEngine {
         self.layers.iter().map(|l| &l.gelu).collect()
     }
 
-    /// Runs SC inference on pre-extracted patches, returning logits.
+    /// The ViT geometry the engine was compiled for.
+    pub fn vit_config(&self) -> &ascend_vit::VitConfig {
+        &self.vit
+    }
+
+    /// Allocates the scratch buffers [`ScEngine::forward_one`] needs.
+    ///
+    /// One instance per thread; the serial [`ScEngine::forward`] keeps one
+    /// across its whole batch, and each [`crate::serve`] worker owns one.
+    pub fn scratch(&self) -> ForwardScratch {
+        ForwardScratch { softmax_row: vec![0.0f64; self.vit.seq_len()] }
+    }
+
+    /// Runs SC inference for **one image**, returning its logits row.
+    ///
+    /// `patches` holds the image's `[num_patches, patch_dim]` patch matrix.
+    /// This is the shared per-image inner loop: the serial
+    /// [`ScEngine::forward`] and the parallel [`crate::serve::BatchRunner`]
+    /// both call it, which is what makes the parallel runtime bit-for-bit
+    /// identical to the serial path by construction.
     ///
     /// # Errors
     ///
     /// Propagates softmax-block errors (infeasible configurations are
     /// rejected at [`ScEngine::compile`] time, so this is unexpected).
-    pub fn forward(&self, patches: &Tensor, batch: usize) -> Result<Tensor, ScError> {
-        let m = &self.model;
-        let cfg = &m.config;
-        let plan = m.plan();
+    ///
+    /// # Panics
+    ///
+    /// Panics (like the tensor ops it is built from) if `patches` is not
+    /// `[num_patches, patch_dim]`; the batched entry points
+    /// [`ScEngine::forward`]/[`ScEngine::forward_with`] validate sizes and
+    /// return [`ScError::InvalidParam`] instead.
+    pub fn forward_one(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        let cfg = &self.vit;
+        let plan = &self.plan;
         let (s, d, h, dh) = (cfg.seq_len(), cfg.dim, cfg.heads, cfg.head_dim());
-        let wq = |lin: &ascend_vit::model::Linear| -> Tensor {
-            fake_quant(&lin.w, lin.w_site.step_value(), plan.weights)
-        };
 
         // Patch embedding (+ cls, + pos), then the residual grid.
-        let tokens = linear(patches, &wq(m.patch_embed()), &m.patch_embed().b);
-        let mut x = assemble_sequence(&tokens, m.cls_token(), m.pos_embedding(), batch, cfg);
+        let tokens = linear(patches, &self.patch_embed.w, &self.patch_embed.b);
+        let mut x = assemble_sequence(&tokens, &self.cls_token, &self.pos_embedding, 1, cfg);
 
-        for (block, lp) in m.blocks().iter().zip(self.layers.iter()) {
-            let (in_site_a, out_site_a) = block.attn().sites();
-            let (res1, res2) = block.res_sites();
-
+        for lp in &self.layers {
             // --- MSA ---
             let n1 = affine(&x, &lp.norm1_affine);
-            let xq = fake_quant(&n1, in_site_a.step_value(), plan.acts);
-            let q = split_heads(&linear(&xq, &wq(block.attn().q()), &block.attn().q().b), batch, s, h, dh);
-            let k = split_heads(&linear(&xq, &wq(block.attn().k()), &block.attn().k().b), batch, s, h, dh);
-            let v = split_heads(&linear(&xq, &wq(block.attn().v()), &block.attn().v().b), batch, s, h, dh);
+            let xq = fake_quant(&n1, lp.attn_in_step, plan.acts);
+            let q = split_heads(&linear(&xq, &lp.q.w, &lp.q.b), 1, s, h, dh);
+            let k = split_heads(&linear(&xq, &lp.k.w, &lp.k.b), 1, s, h, dh);
+            let v = split_heads(&linear(&xq, &lp.v.w, &lp.v.b), 1, s, h, dh);
             let mut scores =
                 q.batched_matmul(&k.batched_transpose()).scale(1.0 / (dh as f32).sqrt());
-            self.sc_softmax_rows(&mut scores)?;
-            let ctx = merge_heads(&scores.batched_matmul(&v), batch, s, h, dh);
-            let ctxq = fake_quant(&ctx, out_site_a.step_value(), plan.acts);
-            let attn_out = linear(&ctxq, &wq(block.attn().proj()), &block.attn().proj().b);
-            x = fake_quant(&x.add(&attn_out), res1.step_value(), plan.residual);
+            self.sc_softmax_rows(&mut scores, &mut scratch.softmax_row)?;
+            let ctx = merge_heads(&scores.batched_matmul(&v), 1, s, h, dh);
+            let ctxq = fake_quant(&ctx, lp.attn_out_step, plan.acts);
+            let attn_out = linear(&ctxq, &lp.proj.w, &lp.proj.b);
+            x = fake_quant(&x.add(&attn_out), lp.res1_step, plan.residual);
 
             // --- MLP with gate-assisted SI GELU ---
-            let (mlp_in, _) = block.mlp().sites();
             let n2 = affine(&x, &lp.norm2_affine);
-            let hq = fake_quant(&n2, mlp_in.step_value(), plan.acts);
-            let pre = linear(&hq, &wq(block.mlp().fc1()), &block.mlp().fc1().b);
+            let hq = fake_quant(&n2, lp.mlp_in_step, plan.acts);
+            let pre = linear(&hq, &lp.fc1.w, &lp.fc1.b);
             let act = self.sc_gelu(&pre, &lp.gelu);
-            let out = linear(&act, &wq(block.mlp().fc2()), &block.mlp().fc2().b);
-            x = fake_quant(&x.add(&out), res2.step_value(), plan.residual);
+            let out = linear(&act, &lp.fc2.w, &lp.fc2.b);
+            x = fake_quant(&x.add(&out), lp.res2_step, plan.residual);
         }
 
         // Head.
         let hn = affine(&x, &self.head_affine);
-        let cls = hn.reshape(&[batch, s, d]).select_axis1(0);
-        Ok(linear(&cls, &wq(m.head()), &m.head().b))
+        let cls = hn.reshape(&[1, s, d]).select_axis1(0);
+        Ok(linear(&cls, &self.head.w, &self.head.b).into_data())
+    }
+
+    /// Runs SC inference on pre-extracted patches, returning logits.
+    ///
+    /// Every image in the batch is independent — attention never crosses
+    /// batch boundaries — so this is exactly [`ScEngine::forward_one`]
+    /// applied image by image; the batched and per-image paths are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if `patches` does not hold exactly
+    /// `batch` images, and propagates softmax-block errors (infeasible
+    /// configurations are rejected at [`ScEngine::compile`] time, so the
+    /// latter is unexpected).
+    pub fn forward(&self, patches: &Tensor, batch: usize) -> Result<Tensor, ScError> {
+        let mut scratch = self.scratch();
+        self.forward_with(patches, batch, &mut scratch)
+    }
+
+    /// [`ScEngine::forward`] with caller-provided scratch — the batched
+    /// entry point shared verbatim by the serial path and every
+    /// [`crate::serve`] worker, so there is exactly one per-image framing
+    /// loop to keep the parallel/serial bit-identity contract honest.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScEngine::forward`].
+    pub fn forward_with(
+        &self,
+        patches: &Tensor,
+        batch: usize,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Tensor, ScError> {
+        let cfg = &self.vit;
+        let (p, pd, classes) = (cfg.num_patches(), cfg.patch_dim(), cfg.classes);
+        if patches.data().len() != batch * p * pd {
+            return Err(ScError::InvalidParam {
+                name: "patches",
+                reason: format!(
+                    "patch tensor holds {} values, expected {} for {batch} images of [{p}, {pd}] patches",
+                    patches.data().len(),
+                    batch * p * pd
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(batch * classes);
+        for bi in 0..batch {
+            let img = Tensor::from_vec(
+                patches.data()[bi * p * pd..(bi + 1) * p * pd].to_vec(),
+                &[p, pd],
+            );
+            out.extend(self.forward_one(&img, scratch)?);
+        }
+        Ok(Tensor::from_vec(out, &[batch, classes]))
     }
 
     /// Top-1 accuracy over a dataset.
@@ -275,7 +433,7 @@ impl ScEngine {
         data: &ascend_vit::data::Dataset,
         batch: usize,
     ) -> Result<f32, ScError> {
-        let patch = self.model.config.patch;
+        let patch = self.vit.patch;
         let mut correct = 0usize;
         let all: Vec<usize> = (0..data.len()).collect();
         for chunk in all.chunks(batch.max(1)) {
@@ -290,18 +448,19 @@ impl ScEngine {
         Ok(correct as f32 / data.len().max(1) as f32)
     }
 
-    /// Applies the SC softmax block to every row of `[n, s, s]` scores.
-    fn sc_softmax_rows(&self, scores: &mut Tensor) -> Result<(), ScError> {
+    /// Applies the SC softmax block to every row of `[n, s, s]` scores,
+    /// staging each row through the caller-provided scratch buffer.
+    fn sc_softmax_rows(&self, scores: &mut Tensor, row_buf: &mut Vec<f64>) -> Result<(), ScError> {
         let shape = scores.shape().to_vec();
         let s = shape[2];
         let rows = scores.numel() / s;
         let data = scores.data_mut();
-        let mut row_buf = vec![0.0f64; s];
+        row_buf.resize(s, 0.0);
         for r in 0..rows {
             for (b, v) in row_buf.iter_mut().zip(&data[r * s..(r + 1) * s]) {
                 *b = *v as f64;
             }
-            let y = self.softmax.run_levels(&row_buf)?;
+            let y = self.softmax.run_levels(row_buf)?;
             for (dst, v) in data[r * s..(r + 1) * s].iter_mut().zip(y.iter()) {
                 *dst = *v as f32;
             }

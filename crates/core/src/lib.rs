@@ -15,6 +15,10 @@
 //! * [`accelerator`] — the **accelerator area model** (Table VI): the
 //!   compute arrays plus `k` parallel softmax blocks, costed with
 //!   [`sc_hw`]'s analytic synthesis model.
+//! * [`serve`] — the **parallel batched serving runtime**: a
+//!   [`serve::BatchRunner`] shards a request queue across a scoped worker
+//!   pool sharing the immutable compiled engine, bit-for-bit identical to
+//!   the serial path.
 //! * [`report`] — table formatting shared by the benchmark harness.
 //!
 //! ## Quickstart
@@ -36,7 +40,9 @@ pub mod accelerator;
 pub mod engine;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use accelerator::{AcceleratorConfig, AcceleratorModel};
-pub use engine::{EngineConfig, ScEngine};
+pub use engine::{EngineConfig, ForwardScratch, ScEngine};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use serve::{BatchRunner, ServeConfig, ServeReport, ServeRequest};

@@ -1,0 +1,497 @@
+//! Parallel batched SC inference: the serving runtime over a compiled
+//! engine.
+//!
+//! ASCEND's accelerator is a throughput design — Table VI instantiates `k`
+//! softmax blocks *in parallel* precisely so attention rows can be served
+//! concurrently. This module gives the software model the same shape: a
+//! [`BatchRunner`] shards a queue of patch-tensor requests across a
+//! [`std::thread::scope`] worker pool. The compiled [`ScEngine`] is
+//! immutable after [`ScEngine::compile`], so workers share it by `&` — no
+//! cloning, no locking on the hot path.
+//!
+//! Determinism is a hard contract, not a best effort: every worker runs the
+//! same per-image [`ScEngine::forward_one`] loop the serial path runs, and
+//! results are reassembled in request order, so parallel output is
+//! **bit-for-bit identical** to serial output for any worker count or
+//! micro-batch size (`tests/serve_determinism.rs` proves it).
+//!
+//! ```no_run
+//! use ascend::serve::{BatchRunner, ServeConfig};
+//! # fn demo(engine: &ascend::ScEngine, patches: &ascend_tensor::Tensor) {
+//! let runner = BatchRunner::new(engine, ServeConfig::auto()).unwrap();
+//! let (logits, report) = runner.run_batch(patches, 64).unwrap();
+//! println!("{}", report.summary());
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ascend_tensor::Tensor;
+use sc_core::ScError;
+
+use crate::engine::ScEngine;
+
+/// Runtime knobs of the [`BatchRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker-thread count; `0` resolves to the machine's
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Images per work unit when [`BatchRunner::run_batch`] carves a large
+    /// batch into requests. Smaller micro-batches balance load better;
+    /// larger ones amortize per-request bookkeeping.
+    pub micro_batch: usize,
+    /// Maximum requests admitted in flight at once; `0` means unbounded.
+    /// [`BatchRunner::run`] processes the queue in waves of this depth,
+    /// modelling a bounded admission queue in front of the accelerator.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 0, micro_batch: 8, queue_depth: 0 }
+    }
+}
+
+impl ServeConfig {
+    /// Auto mode: worker count from the machine, default micro-batching,
+    /// unbounded queue.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// The effective worker count (`workers`, or the machine's available
+    /// parallelism when `workers == 0`; always at least 1).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// One unit of serving work: a patch tensor holding `images` images.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Pre-extracted patches, `[images · num_patches, patch_dim]`.
+    pub patches: Tensor,
+    /// Number of images in `patches`.
+    pub images: usize,
+}
+
+impl ServeRequest {
+    /// Wraps a patch tensor as a request.
+    pub fn new(patches: Tensor, images: usize) -> Self {
+        ServeRequest { patches, images }
+    }
+}
+
+/// Results of one [`BatchRunner::run`]: per-request logits plus metrics.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Logits per request, in request order; row `i` of entry `r` is the
+    /// class scores of image `i` of request `r`.
+    pub logits: Vec<Tensor>,
+    /// Latency and throughput metrics for the run.
+    pub report: ServeReport,
+}
+
+/// Latency/throughput metrics of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    images: usize,
+    workers: usize,
+}
+
+impl ServeReport {
+    /// Number of requests served.
+    pub fn requests(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Total images served.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Worker threads used.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Wall-clock time of the whole run.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Per-request service latencies, in request order (the time a worker
+    /// spent on the request, excluding queue wait).
+    pub fn latencies(&self) -> &[Duration] {
+        &self.latencies
+    }
+
+    /// Aggregate throughput in images per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.images as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank latency percentile, `p` in `[0, 100]`.
+    ///
+    /// Returns [`Duration::ZERO`] for an empty run.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} images / {} requests on {} workers in {:.1} ms — {:.1} images/s \
+             (latency p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms)",
+            self.images,
+            self.requests(),
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput(),
+            self.latency_percentile(50.0).as_secs_f64() * 1e3,
+            self.latency_percentile(95.0).as_secs_f64() * 1e3,
+            self.latency_percentile(100.0).as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// The parallel batched inference runtime over a shared compiled engine.
+pub struct BatchRunner<'e> {
+    engine: &'e ScEngine,
+    cfg: ServeConfig,
+}
+
+impl<'e> BatchRunner<'e> {
+    /// Creates a runner over a compiled engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if `micro_batch` is zero.
+    pub fn new(engine: &'e ScEngine, cfg: ServeConfig) -> Result<Self, ScError> {
+        if cfg.micro_batch == 0 {
+            return Err(ScError::InvalidParam {
+                name: "micro_batch",
+                reason: "micro-batch size must be at least 1".into(),
+            });
+        }
+        Ok(BatchRunner { engine, cfg })
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &ScEngine {
+        self.engine
+    }
+
+    /// Serves a queue of requests, returning per-request logits in request
+    /// order plus a [`ServeReport`].
+    ///
+    /// Requests are admitted in waves of [`ServeConfig::queue_depth`] and
+    /// claimed dynamically by the worker pool within each wave; each worker
+    /// reuses one [`crate::engine::ForwardScratch`] across all the requests
+    /// it serves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if a request's patch tensor does
+    /// not hold exactly `images` images, and propagates engine errors (the
+    /// first in request order, deterministically).
+    pub fn run(&self, requests: &[ServeRequest]) -> Result<ServeOutcome, ScError> {
+        let cfg = self.engine.vit_config();
+        let (p, pd) = (cfg.num_patches(), cfg.patch_dim());
+        for req in requests {
+            if req.patches.data().len() != req.images * p * pd {
+                return Err(ScError::InvalidParam {
+                    name: "requests",
+                    reason: format!(
+                        "request holds {} values, expected {} for {} images of [{p}, {pd}] patches",
+                        req.patches.data().len(),
+                        req.images * p * pd,
+                        req.images
+                    ),
+                });
+            }
+        }
+
+        let depth = if self.cfg.queue_depth == 0 { requests.len().max(1) } else { self.cfg.queue_depth };
+        // Threads that can actually run concurrently: the pool size, capped
+        // by the widest wave — so the report never claims more parallelism
+        // than the queue shape allows.
+        let workers = self.cfg.resolved_workers().min(depth.min(requests.len()).max(1));
+        let start = Instant::now();
+        let mut logits = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
+        for wave in requests.chunks(depth) {
+            let served = parallel_map_with(
+                workers,
+                1,
+                wave,
+                || self.engine.scratch(),
+                |scratch, _, req| {
+                    let t0 = Instant::now();
+                    let result = self.serve_request(req, scratch);
+                    (result, t0.elapsed())
+                },
+            );
+            for (result, latency) in served {
+                logits.push(result?);
+                latencies.push(latency);
+            }
+        }
+        let images = requests.iter().map(|r| r.images).sum();
+        let report = ServeReport { latencies, wall: start.elapsed(), images, workers };
+        Ok(ServeOutcome { logits, report })
+    }
+
+    /// Serves one large batch: carves it into micro-batch requests, runs
+    /// them through the pool, and reassembles the `[images, classes]`
+    /// logits in input order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchRunner::run`].
+    pub fn run_batch(
+        &self,
+        patches: &Tensor,
+        images: usize,
+    ) -> Result<(Tensor, ServeReport), ScError> {
+        let cfg = self.engine.vit_config();
+        let (p, pd, classes) = (cfg.num_patches(), cfg.patch_dim(), cfg.classes);
+        if patches.data().len() != images * p * pd {
+            return Err(ScError::InvalidParam {
+                name: "patches",
+                reason: format!(
+                    "patch tensor holds {} values, expected {} for {images} images",
+                    patches.data().len(),
+                    images * p * pd
+                ),
+            });
+        }
+        let mb = self.cfg.micro_batch;
+        let requests: Vec<ServeRequest> = (0..images)
+            .step_by(mb)
+            .map(|lo| {
+                let hi = (lo + mb).min(images);
+                ServeRequest::new(
+                    Tensor::from_vec(
+                        patches.data()[lo * p * pd..hi * p * pd].to_vec(),
+                        &[(hi - lo) * p, pd],
+                    ),
+                    hi - lo,
+                )
+            })
+            .collect();
+        let outcome = self.run(&requests)?;
+        let mut all = Vec::with_capacity(images * classes);
+        for t in &outcome.logits {
+            all.extend_from_slice(t.data());
+        }
+        Ok((Tensor::from_vec(all, &[images, classes]), outcome.report))
+    }
+
+    /// Serves one request on the calling worker thread — the exact same
+    /// [`ScEngine::forward_with`] loop the serial path runs.
+    fn serve_request(
+        &self,
+        req: &ServeRequest,
+        scratch: &mut crate::engine::ForwardScratch,
+    ) -> Result<Tensor, ScError> {
+        self.engine.forward_with(&req.patches, req.images, scratch)
+    }
+}
+
+/// Order-preserving parallel map over a slice — **the** workspace-wide
+/// parallel-map primitive (the bench binaries use it too, so there is one
+/// chunked-scope pattern, not many).
+///
+/// Splits `items` into chunks of `chunk` and lets `workers` scoped threads
+/// claim chunks dynamically off a shared atomic cursor; results come back
+/// in input order regardless of which worker computed what. With
+/// `workers <= 1` it degenerates to a plain serial map.
+pub fn parallel_map<T, R, F>(workers: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(workers, chunk, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] with per-worker mutable state.
+///
+/// `init` runs once on each worker thread and the resulting state is
+/// threaded through every `f(&mut state, index, item)` call that worker
+/// makes — the hook the serving runtime uses to reuse one scratch
+/// allocation per worker instead of one per item.
+pub fn parallel_map_with<T, S, R, I, F>(
+    workers: usize,
+    chunk: usize,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let workers = workers.max(1).min(n_chunks.max(1));
+    if workers == 1 {
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut mine = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(items.len());
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            out.push(f(&mut state, lo + i, item));
+                        }
+                        mine.push((c, out));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("serve worker panicked")).collect()
+    });
+
+    // Reassemble in chunk order: worker scheduling never leaks into output
+    // order, which is what the determinism contract rests on.
+    let mut slots: Vec<Option<Vec<R>>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
+    for mine in parts {
+        for (c, out) in mine {
+            slots[c] = Some(out);
+        }
+    }
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_for_ragged_chunks() {
+        let items: Vec<usize> = (0..103).collect();
+        let want: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1usize, 2, 3, 8] {
+            for chunk in [1usize, 4, 7, 64, 1000] {
+                let got = parallel_map(workers, chunk, &items, |_, x| x * 3 + 1);
+                assert_eq!(got, want, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_passes_global_indices() {
+        let items = vec![10usize; 37];
+        let got = parallel_map(4, 5, &items, |i, x| i * 100 + x);
+        let want: Vec<usize> = (0..37).map(|i| i * 100 + 10).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let got: Vec<usize> = parallel_map(8, 16, &[], |_, x: &usize| *x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_worker_state() {
+        // Each worker's state counts the items it served; the grand total
+        // must be every item exactly once.
+        let items = vec![1usize; 50];
+        let served = parallel_map_with(
+            3,
+            4,
+            &items,
+            || 0usize,
+            |count, _, x| {
+                *count += 1;
+                (*count, *x)
+            },
+        );
+        assert_eq!(served.len(), 50);
+        // Per-worker counters are strictly positive and each item was
+        // visited once (all second components intact).
+        assert!(served.iter().all(|(c, x)| *c >= 1 && *x == 1));
+    }
+
+    #[test]
+    fn serve_config_resolves_workers() {
+        assert!(ServeConfig::auto().resolved_workers() >= 1);
+        let cfg = ServeConfig { workers: 3, ..ServeConfig::default() };
+        assert_eq!(cfg.resolved_workers(), 3);
+    }
+
+    #[test]
+    fn report_percentiles_are_nearest_rank() {
+        let report = ServeReport {
+            latencies: (1..=10).map(Duration::from_millis).collect(),
+            wall: Duration::from_millis(20),
+            images: 40,
+            workers: 4,
+        };
+        assert_eq!(report.latency_percentile(50.0), Duration::from_millis(5));
+        assert_eq!(report.latency_percentile(95.0), Duration::from_millis(10));
+        assert_eq!(report.latency_percentile(100.0), Duration::from_millis(10));
+        assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(report.requests(), 10);
+        assert!((report.throughput() - 2000.0).abs() < 1e-9);
+        assert!(report.summary().contains("40 images / 10 requests"));
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = ServeReport {
+            latencies: Vec::new(),
+            wall: Duration::ZERO,
+            images: 0,
+            workers: 1,
+        };
+        assert_eq!(report.latency_percentile(50.0), Duration::ZERO);
+        assert_eq!(report.throughput(), 0.0);
+    }
+}

@@ -46,15 +46,32 @@ impl Bitstream {
     }
 
     /// Creates a stream from an iterator of bits; the first item is bit 0.
+    ///
+    /// Streams straight into packed words — no intermediate `Vec<bool>`, no
+    /// per-bit bounds checks. Tail bits of the last word stay zero, so the
+    /// masked-tail invariant holds by construction.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut s = Self::zeros(bits.len());
-        for (i, b) in bits.iter().enumerate() {
-            if *b {
-                s.set(i, true);
+        let bits = bits.into_iter();
+        let mut words = Vec::with_capacity(bits.size_hint().0.div_ceil(WORD_BITS));
+        let mut current = 0u64;
+        let mut fill = 0usize;
+        let mut len = 0usize;
+        for b in bits {
+            if b {
+                current |= 1u64 << fill;
+            }
+            fill += 1;
+            len += 1;
+            if fill == WORD_BITS {
+                words.push(current);
+                current = 0;
+                fill = 0;
             }
         }
-        s
+        if fill > 0 {
+            words.push(current);
+        }
+        Bitstream { words, len }
     }
 
     /// Creates a stream of `len` bits where bit `i` is `f(i)`.

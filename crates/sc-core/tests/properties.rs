@@ -10,6 +10,18 @@ fn arb_bits(max_len: usize) -> impl Strategy<Value = Bitstream> {
     proptest::collection::vec(any::<bool>(), 0..max_len).prop_map(Bitstream::from_bits)
 }
 
+/// Lengths straddling the packed-word boundaries: one under, at, and one
+/// over a whole `u64`, for one and two words.
+fn word_boundary_lengths() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![63usize, 64, 65, 127, 128, 129])
+}
+
+/// Arbitrary bit vectors exactly at the word-boundary lengths.
+fn arb_boundary_bits() -> impl Strategy<Value = Vec<bool>> {
+    word_boundary_lengths()
+        .prop_flat_map(|len| proptest::collection::vec(any::<bool>(), len..=len))
+}
+
 fn arb_therm(max_half: i64) -> impl Strategy<Value = ThermStream> {
     (1..=max_half, 0.01f64..4.0).prop_flat_map(|(half, scale)| {
         (-half..=half).prop_map(move |q| {
@@ -126,5 +138,43 @@ proptest! {
         let mut v = VanDerCorput::new(16).unwrap();
         let s = v.bitstream(p, 256).unwrap();
         prop_assert!((s.frac_ones() - p).abs() <= 1.0 / 256.0 + 1e-9);
+    }
+
+    /// `ones` at word-boundary lengths: the popcount is exactly the length,
+    /// every materialized bit is set, and the complement is empty — i.e.
+    /// the packed tail past `len` stays masked to zero.
+    #[test]
+    fn ones_is_exact_at_word_boundaries(len in word_boundary_lengths()) {
+        let s = Bitstream::ones(len);
+        prop_assert_eq!(s.len(), len);
+        prop_assert_eq!(s.count_ones(), len);
+        prop_assert!(s.to_vec().iter().all(|&b| b));
+        prop_assert_eq!(s.not().count_ones(), 0);
+    }
+
+    /// `from_bits` round-trips through `to_vec`, `count_ones`, and
+    /// `FromIterator` at word-boundary lengths.
+    #[test]
+    fn from_bits_round_trips_at_word_boundaries(bits in arb_boundary_bits()) {
+        let s = Bitstream::from_bits(bits.clone());
+        prop_assert_eq!(s.len(), bits.len());
+        prop_assert_eq!(s.count_ones(), bits.iter().filter(|&&b| b).count());
+        prop_assert_eq!(s.to_vec(), bits.clone());
+        let collected: Bitstream = bits.into_iter().collect();
+        prop_assert_eq!(collected, s);
+    }
+
+    /// Iterator round-trips at word-boundary lengths, forward and reversed,
+    /// and the masked-tail invariant keeps complement popcounts exact.
+    #[test]
+    fn iterator_round_trips_at_word_boundaries(bits in arb_boundary_bits()) {
+        let s = Bitstream::from_bits(bits);
+        let rebuilt = Bitstream::from_bits(s.iter());
+        prop_assert_eq!(&rebuilt, &s);
+        let mut reversed: Vec<bool> = s.iter().rev().collect();
+        reversed.reverse();
+        prop_assert_eq!(reversed, s.to_vec());
+        prop_assert_eq!(s.iter().len(), s.len());
+        prop_assert_eq!(s.not().count_ones(), s.len() - s.count_ones());
     }
 }

@@ -1,0 +1,84 @@
+//! Golden regression: a fixed-seed tiny pipeline snapshot.
+//!
+//! The constants below were captured from a known-good build. Any engine
+//! refactor that silently changes numerics — calibration, softmax scale
+//! selection, quantization order, weight pre-quantization — fails here in
+//! tier-1 instead of drifting unnoticed. Intentional numeric changes must
+//! update the constants (run with `--nocapture` to see the fresh values).
+//!
+//! Comparisons use a small tolerance rather than bit equality so the
+//! snapshot survives last-ulp differences in `exp`/`tanh` across platforms;
+//! anything a tolerance of 5e-3 catches is a genuine numeric change.
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend_vit::data::{synth_cifar, Dataset};
+use ascend_vit::train::{train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+
+/// SC engine top-1 accuracy on the 24-image fixed-seed test split.
+const GOLDEN_SC_ACCURACY: f32 = 0.375;
+
+/// SC logits of the first three test images (4 classes each).
+const GOLDEN_LOGITS: [[f32; 4]; 3] = [
+    [0.48290414, 0.709514, -0.69589436, 0.35470432],
+    [-0.0073154382, -1.5145624, -2.2707572, -0.1737375],
+    [1.6445307, -1.4789618, 1.8848817, -1.4585421],
+];
+
+const LOGIT_TOLERANCE: f32 = 5e-3;
+const ACCURACY_TOLERANCE: f32 = 0.05;
+
+/// The fixed-seed recipe: every seed is pinned (model init 42 via
+/// `VitConfig::default`, data 7, shuffling 0 via `TrainConfig::default`).
+fn golden_engine() -> (ScEngine, Dataset) {
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, test) = synth_cifar(4, 96, 24, 8, 7);
+    let tc = TrainConfig { epochs: 3, batch: 16, ..Default::default() };
+    train_model(&mut model, None, &train, &test, &tc);
+    model.set_plan(PrecisionPlan::w2_a2_r16());
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    model.calibrate_steps(&calib, 16);
+    train_model(&mut model, None, &train, &test, &tc);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16)
+        .expect("golden engine compiles");
+    (engine, test)
+}
+
+#[test]
+fn fixed_seed_pipeline_matches_golden_snapshot() {
+    let (engine, test) = golden_engine();
+
+    let accuracy = engine.accuracy(&test, 8).expect("SC accuracy");
+    let idx: Vec<usize> = (0..3).collect();
+    let patches = test.patches(&idx, 4);
+    let logits = engine.forward(&patches, 3).expect("SC forward");
+
+    // Fresh values, for updating the constants after intentional changes.
+    eprintln!("golden accuracy: {accuracy:?}");
+    for r in 0..3 {
+        eprintln!("golden logits[{r}]: {:?}", &logits.data()[r * 4..(r + 1) * 4]);
+    }
+
+    assert!(
+        (accuracy - GOLDEN_SC_ACCURACY).abs() <= ACCURACY_TOLERANCE,
+        "SC accuracy drifted: got {accuracy}, golden {GOLDEN_SC_ACCURACY}"
+    );
+    for (r, want_row) in GOLDEN_LOGITS.iter().enumerate() {
+        for (c, want) in want_row.iter().enumerate() {
+            let got = logits.data()[r * 4 + c];
+            assert!(
+                (got - want).abs() <= LOGIT_TOLERANCE,
+                "logit [{r}][{c}] drifted: got {got}, golden {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tier-1 determinism contract of the serving runtime: the parallel
+//! [`BatchRunner`] must produce **bit-for-bit** the same logits as the
+//! serial [`ScEngine::forward`] for the same inputs, across worker counts
+//! and odd batch sizes that do not divide evenly into micro-batches.
+//!
+//! This is what makes the runtime safe to drop into accuracy experiments:
+//! parallelism is purely a scheduling concern and never a numerics one.
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
+use ascend_tensor::Tensor;
+use ascend_vit::data::{synth_cifar, Dataset};
+use ascend_vit::train::{train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+
+fn tiny_engine() -> (ScEngine, Dataset) {
+    let cfg = VitConfig {
+        image: 8,
+        patch: 4,
+        dim: 16,
+        layers: 2,
+        heads: 2,
+        classes: 4,
+        ..Default::default()
+    };
+    let mut model = VitModel::new(cfg);
+    let (train, test) = synth_cifar(4, 48, 24, 8, 5);
+    let tc = TrainConfig { epochs: 2, batch: 16, ..Default::default() };
+    train_model(&mut model, None, &train, &test, &tc);
+    model.set_plan(PrecisionPlan::w2_a2_r16());
+    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
+    model.calibrate_steps(&calib, 16);
+    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16)
+        .expect("tiny engine compiles");
+    (engine, test)
+}
+
+fn assert_bit_identical(a: &Tensor, b: &Tensor, context: &str) {
+    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: logit {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn batch_runner_is_bit_identical_across_worker_counts() {
+    let (engine, test) = tiny_engine();
+    // Odd batch sizes: 7 = 4 + 3 and 13 = 3·4 + 1 leave ragged final
+    // micro-batches at micro_batch = 4.
+    for &n in &[7usize, 13] {
+        let idx: Vec<usize> = (0..n).collect();
+        let patches = test.patches(&idx, 4);
+        let serial = engine.forward(&patches, n).expect("serial forward");
+        for workers in [1usize, 2, 4] {
+            let runner = BatchRunner::new(
+                &engine,
+                ServeConfig { workers, micro_batch: 4, queue_depth: 0 },
+            )
+            .expect("runner builds");
+            let (parallel, report) = runner.run_batch(&patches, n).expect("parallel run");
+            assert_bit_identical(&parallel, &serial, &format!("n={n} workers={workers}"));
+            assert_eq!(report.images(), n);
+            assert_eq!(report.requests(), n.div_ceil(4));
+            // The report states the parallelism actually available: the
+            // pool size capped by the number of requests.
+            assert_eq!(report.workers(), workers.min(n.div_ceil(4)));
+        }
+    }
+}
+
+#[test]
+fn request_queue_matches_per_request_serial_forward() {
+    let (engine, test) = tiny_engine();
+    // Heterogeneous request sizes through a bounded admission queue.
+    let sizes = [3usize, 1, 5, 2];
+    let mut requests = Vec::new();
+    let mut offset = 0usize;
+    for &sz in &sizes {
+        let idx: Vec<usize> = (offset..offset + sz).collect();
+        requests.push(ServeRequest::new(test.patches(&idx, 4), sz));
+        offset += sz;
+    }
+    let runner = BatchRunner::new(
+        &engine,
+        ServeConfig { workers: 3, micro_batch: 4, queue_depth: 2 },
+    )
+    .expect("runner builds");
+    let outcome = runner.run(&requests).expect("queue run");
+    assert_eq!(outcome.logits.len(), sizes.len());
+    assert_eq!(outcome.report.requests(), sizes.len());
+    assert_eq!(outcome.report.images(), sizes.iter().sum::<usize>());
+    assert_eq!(outcome.report.latencies().len(), sizes.len());
+    for (req, got) in requests.iter().zip(outcome.logits.iter()) {
+        let want = engine.forward(&req.patches, req.images).expect("serial forward");
+        assert_bit_identical(got, &want, &format!("request of {} images", req.images));
+    }
+}
+
+#[test]
+fn forward_one_composes_to_batched_forward() {
+    let (engine, test) = tiny_engine();
+    let idx: Vec<usize> = (0..5).collect();
+    let patches = test.patches(&idx, 4);
+    let batched = engine.forward(&patches, 5).expect("batched forward");
+    let cfg = engine.vit_config();
+    let (p, pd) = (cfg.num_patches(), cfg.patch_dim());
+    let mut scratch = engine.scratch();
+    let mut rows = Vec::new();
+    for bi in 0..5 {
+        let img = Tensor::from_vec(
+            patches.data()[bi * p * pd..(bi + 1) * p * pd].to_vec(),
+            &[p, pd],
+        );
+        rows.extend(engine.forward_one(&img, &mut scratch).expect("forward_one"));
+    }
+    let stacked = Tensor::from_vec(rows, &[5, cfg.classes]);
+    assert_bit_identical(&stacked, &batched, "forward_one composition");
+}
+
+#[test]
+fn runner_rejects_malformed_configs_and_requests() {
+    let (engine, test) = tiny_engine();
+    assert!(
+        BatchRunner::new(&engine, ServeConfig { micro_batch: 0, ..ServeConfig::auto() }).is_err(),
+        "micro_batch = 0 must be rejected"
+    );
+    let runner = BatchRunner::new(&engine, ServeConfig::auto()).expect("runner builds");
+    // Claiming 3 images while providing 2 images' worth of patches.
+    let two = test.patches(&[0, 1], 4);
+    assert!(runner.run(&[ServeRequest::new(two.clone(), 3)]).is_err());
+    assert!(runner.run_batch(&two, 3).is_err());
+}
