@@ -5,37 +5,23 @@
 //! 4 workers on a multi-core runner; compare `serve_serial_batch32`
 //! against `serve_runner_w4_batch32`.
 
-use ascend::engine::{EngineConfig, ScEngine};
+use ascend::engine::EngineConfig;
+use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig};
-use ascend_vit::data::synth_cifar;
-use ascend_vit::train::{train_model, TrainConfig};
-use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_throughput(c: &mut Criterion) {
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
-        ..Default::default()
-    };
-    let mut model = VitModel::new(cfg);
-    let (train, test) = synth_cifar(4, 64, 32, 8, 5);
-    train_model(
-        &mut model,
-        None,
-        &train,
-        &test,
-        &TrainConfig { epochs: 1, batch: 16, ..Default::default() },
-    );
-    model.set_plan(PrecisionPlan::w2_a2_r16());
-    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
-    model.calibrate_steps(&calib, 16);
-    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).expect("compiles");
+    // Checkpoint-cached fixture: 1 FP epoch, calibrate, no QAT — bench
+    // runs reuse the trained model instead of paying training on every
+    // invocation.
+    let mut recipe = FixtureRecipe::tiny("bench-throughput", 5);
+    recipe.n_train = 64;
+    recipe.n_test = 32;
+    recipe.pre_epochs = 1;
+    recipe.qat_epochs = 0;
+    let (engine, _train, test) =
+        engine_or_load(&recipe, EngineConfig::default()).expect("compiles");
 
     let n = 32usize;
     let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);

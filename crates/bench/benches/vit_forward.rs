@@ -1,34 +1,19 @@
 //! Criterion benchmarks of ViT inference: float model vs SC engine.
 
 use ascend::engine::{EngineConfig, ScEngine};
-use ascend_vit::data::synth_cifar;
-use ascend_vit::train::{train_model, TrainConfig};
-use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+use ascend::fixture::{train_or_load, FixtureRecipe};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_vit(c: &mut Criterion) {
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
-        ..Default::default()
-    };
-    let mut model = VitModel::new(cfg);
-    let (train, _test) = synth_cifar(4, 64, 16, 8, 5);
-    train_model(
-        &mut model,
-        None,
-        &train,
-        &_test,
-        &TrainConfig { epochs: 1, batch: 16, ..Default::default() },
-    );
-    model.set_plan(PrecisionPlan::w2_a2_r16());
+    // Checkpoint-cached fixture shared with the other benches.
+    let mut recipe = FixtureRecipe::tiny("bench-vit", 5);
+    recipe.n_train = 64;
+    recipe.n_test = 16;
+    recipe.pre_epochs = 1;
+    recipe.qat_epochs = 0;
+    let (model, train, _test) = train_or_load(&recipe);
     let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
-    model.calibrate_steps(&calib, 16);
     let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16).expect("compiles");
 
     let patches = train.patches(&(0..8).collect::<Vec<_>>(), 4);

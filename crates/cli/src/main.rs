@@ -1,0 +1,528 @@
+//! `ascend-cli` — the end-to-end ASCEND pipeline over artifact files.
+//!
+//! The paper's deployment flow, one subcommand per stage, chained through
+//! persisted artifacts so no stage ever repeats another's work:
+//!
+//! ```text
+//! ascend-cli train   --out model.ckpt          # QAT training  → checkpoint
+//! ascend-cli compile --model model.ckpt \
+//!                    --out engine.sceng        # checkpoint    → SC engine
+//! ascend-cli eval    --engine engine.sceng     # engine        → accuracy
+//! ascend-cli serve   --engine engine.sceng     # engine        → batched serving
+//! ascend-cli info    --path any-artifact       # artifact introspection
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs; the build is
+//! offline and dependency-free). Errors print to stderr and exit 2 for
+//! usage problems, 1 for runtime failures.
+
+use std::path::{Path, PathBuf};
+
+use ascend::engine::{EngineConfig, ScEngine};
+use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
+use ascend_io::format::Artifact;
+use ascend_io::ModelCheckpoint;
+use ascend_vit::data::synth_cifar;
+use ascend_vit::train::{evaluate, train_model, TrainConfig};
+use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+
+const USAGE: &str = "\
+ascend-cli — train, compile, eval, and serve the ASCEND SC-ViT pipeline
+
+USAGE:
+    ascend-cli <train|compile|eval|serve|info> [--key value ...]
+
+SUBCOMMANDS:
+    train    Train a QAT ViT on SynthCIFAR and save a model checkpoint
+             --out PATH (required)  --classes 4  --image 8  --patch 4
+             --dim 16  --layers 2  --heads 2  --train-n 96  --test-n 48
+             --data-seed 7  --epochs 3  --qat-epochs (= --epochs)
+             --batch 16  --lr 0.001  --plan w2a2r16|w4a4r16|w16a16r16|fp
+             --calib 16  --verbose true
+    compile  Compile an SC engine from a checkpoint and save the artifact
+             --model PATH (required)  --out PATH (required)
+             --by 8  --s1 32  --s2 8  --k 3
+    eval     Measure SC top-1 accuracy of a saved engine
+             --engine PATH (required)  [--model PATH for float comparison]
+             --test-n 48  --data-seed 7  --batch 16
+    serve    Run the parallel serving runtime on a saved engine
+             --engine PATH (required)  --requests 8  --images 4
+             --workers 0 (auto)  --micro-batch 4  --queue-depth 2
+             --data-seed 7
+    info     Describe any artifact file
+             --path PATH (required)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{USAGE}");
+        return 0;
+    }
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(flags),
+        "compile" => cmd_compile(flags),
+        "eval" => cmd_eval(flags),
+        "serve" => cmd_serve(flags),
+        "info" => cmd_info(flags),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            2
+        }
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: print usage, exit 2.
+    Usage(String),
+    /// The pipeline itself failed: exit 1.
+    Runtime(String),
+}
+
+impl From<sc_core::ScError> for CliError {
+    fn from(e: sc_core::ScError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+/// Parsed `--key value` pairs with consumed-key tracking, so unknown or
+/// misspelled flags are reported instead of silently ignored.
+#[derive(Debug, Default)]
+struct Flags {
+    pairs: Vec<(String, String)>,
+    used: std::cell::RefCell<Vec<String>>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{key}`"));
+            };
+            if name.is_empty() {
+                return Err("empty flag name `--`".into());
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            if pairs.iter().any(|(k, _)| k == name) {
+                return Err(format!("flag --{name} given twice"));
+            }
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs, used: std::cell::RefCell::new(Vec::new()) })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.used.borrow_mut().push(name.to_string());
+        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{name} has invalid value `{v}`"))),
+        }
+    }
+
+    /// Errors on any flag that no `get` call ever looked at.
+    fn reject_unknown(&self) -> Result<(), CliError> {
+        let used = self.used.borrow();
+        for (k, _) in &self.pairs {
+            if !used.iter().any(|u| u == k) {
+                return Err(CliError::Usage(format!("unknown flag --{k} for this subcommand")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_plan(s: &str) -> Result<PrecisionPlan, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "fp" => Ok(PrecisionPlan::fp()),
+        "w2a2r16" => Ok(PrecisionPlan::w2_a2_r16()),
+        "w4a4r16" => Ok(PrecisionPlan::w4_a4_r16()),
+        "w16a2r16" => Ok(PrecisionPlan::w16_a2_r16()),
+        "w16a16r16" => Ok(PrecisionPlan::w16_a16_r16()),
+        other => Err(CliError::Usage(format!(
+            "unknown plan `{other}` (expected fp|w2a2r16|w4a4r16|w16a2r16|w16a16r16)"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_train(flags: Flags) -> Result<(), CliError> {
+    let out = PathBuf::from(flags.require("out")?);
+    let classes: usize = flags.get_parsed("classes", 4)?;
+    let model_cfg = VitConfig {
+        image: flags.get_parsed("image", 8)?,
+        patch: flags.get_parsed("patch", 4)?,
+        dim: flags.get_parsed("dim", 16)?,
+        layers: flags.get_parsed("layers", 2)?,
+        heads: flags.get_parsed("heads", 2)?,
+        classes,
+        ..Default::default()
+    };
+    let n_train: usize = flags.get_parsed("train-n", 96)?;
+    let n_test: usize = flags.get_parsed("test-n", 48)?;
+    let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
+    let epochs: usize = flags.get_parsed("epochs", 3)?;
+    let qat_epochs: usize = flags.get_parsed("qat-epochs", epochs)?;
+    let batch: usize = flags.get_parsed("batch", 16)?;
+    let lr: f32 = flags.get_parsed("lr", 1e-3)?;
+    let plan = parse_plan(flags.get("plan").unwrap_or("w2a2r16"))?;
+    let calib_n: usize = flags.get_parsed("calib", 16)?;
+    let verbose: bool = flags.get_parsed("verbose", false)?;
+    flags.reject_unknown()?;
+    if calib_n == 0 || calib_n > n_train {
+        return Err(CliError::Usage(format!(
+            "--calib {calib_n} must be in [1, --train-n = {n_train}]"
+        )));
+    }
+
+    println!(
+        "training {} ViT on SynthCIFAR-{classes} ({n_train} train / {n_test} test images)",
+        plan.name()
+    );
+    let (train, test) = synth_cifar(classes, n_train, n_test, model_cfg.image, data_seed);
+    let mut model = VitModel::new(model_cfg);
+    let tc = TrainConfig { epochs, batch, lr, verbose, ..Default::default() };
+    train_model(&mut model, None, &train, &test, &tc);
+    println!(
+        "  FP accuracy after {epochs} epochs: {:.2}%",
+        evaluate(&model, &test, batch) * 100.0
+    );
+
+    let calib_idx: Vec<usize> = (0..calib_n).collect();
+    let calib = train.patches(&calib_idx, model_cfg.patch);
+    if !plan.is_fp() {
+        model.set_plan(plan);
+        model.calibrate_steps(&calib, calib_n);
+        if qat_epochs > 0 {
+            let qat = TrainConfig { epochs: qat_epochs, ..tc };
+            train_model(&mut model, None, &train, &test, &qat);
+        }
+        println!(
+            "  {} accuracy after {qat_epochs} QAT epochs: {:.2}%",
+            plan.name(),
+            evaluate(&model, &test, batch) * 100.0
+        );
+    }
+
+    ModelCheckpoint::capture(&model).with_calib(calib, calib_n).save(&out)?;
+    println!("checkpoint written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_compile(flags: Flags) -> Result<(), CliError> {
+    let model_path = PathBuf::from(flags.require("model")?);
+    let out = PathBuf::from(flags.require("out")?);
+    let config = EngineConfig::from_quad(
+        flags.get_parsed("by", 8)?,
+        flags.get_parsed("s1", 32)?,
+        flags.get_parsed("s2", 8)?,
+        flags.get_parsed("k", 3)?,
+    );
+    flags.reject_unknown()?;
+
+    let ckpt = ModelCheckpoint::load(&model_path)?;
+    println!(
+        "compiling SC engine from {} ({} plan, {} layers)",
+        model_path.display(),
+        ckpt.plan.name(),
+        ckpt.config.layers
+    );
+    let engine = ScEngine::compile_from_checkpoint(&ckpt, config)?;
+    let sm = engine.softmax_block().config();
+    println!(
+        "  softmax block: m={} Bx={} ax={:.4} By={} ay={:.4} s1={} s2={} k={}",
+        sm.m, sm.bx, sm.ax, sm.by, sm.ay, sm.s1, sm.s2, sm.k
+    );
+    engine.save(&out)?;
+    println!("engine artifact written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_eval(flags: Flags) -> Result<(), CliError> {
+    let engine_path = PathBuf::from(flags.require("engine")?);
+    let model_path = flags.get("model").map(PathBuf::from);
+    let n_test: usize = flags.get_parsed("test-n", 48)?;
+    let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
+    let batch: usize = flags.get_parsed("batch", 16)?;
+    flags.reject_unknown()?;
+
+    let engine = ScEngine::load(&engine_path)?;
+    let cfg = *engine.vit_config();
+    let (_, test) = synth_cifar(cfg.classes, 1, n_test, cfg.image, data_seed);
+    let sc_acc = engine.accuracy(&test, batch)? * 100.0;
+    println!(
+        "SC engine accuracy on SynthCIFAR-{} ({n_test} images): {sc_acc:.2}%",
+        cfg.classes
+    );
+    if let Some(mp) = model_path {
+        let model = ModelCheckpoint::load(&mp)?.restore()?;
+        let float_acc = evaluate(&model, &test, batch) * 100.0;
+        println!("float (quantized) model accuracy:          {float_acc:.2}%");
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: Flags) -> Result<(), CliError> {
+    let engine_path = PathBuf::from(flags.require("engine")?);
+    let requests: usize = flags.get_parsed("requests", 8)?;
+    let images: usize = flags.get_parsed("images", 4)?;
+    let workers: usize = flags.get_parsed("workers", 0)?;
+    let micro_batch: usize = flags.get_parsed("micro-batch", 4)?;
+    let queue_depth: usize = flags.get_parsed("queue-depth", 2)?;
+    let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
+    flags.reject_unknown()?;
+    if requests == 0 || images == 0 {
+        return Err(CliError::Usage("--requests and --images must be non-zero".into()));
+    }
+
+    let engine = ScEngine::load(&engine_path)?;
+    let cfg = *engine.vit_config();
+    let n = requests * images;
+    let (_, test) = synth_cifar(cfg.classes, 1, n, cfg.image, data_seed);
+    let mut reqs = Vec::with_capacity(requests);
+    for r in 0..requests {
+        let idx: Vec<usize> = (r * images..(r + 1) * images).collect();
+        reqs.push(ServeRequest::new(test.patches(&idx, cfg.patch), images));
+    }
+    let serve_cfg = if workers == 0 {
+        ServeConfig { micro_batch, queue_depth, ..ServeConfig::auto() }
+    } else {
+        ServeConfig { workers, micro_batch, queue_depth }
+    };
+    let runner = BatchRunner::new(&engine, serve_cfg)?;
+    let outcome = runner.run(&reqs)?;
+    println!("{}", outcome.report.summary());
+    println!(
+        "request latencies: p50 {:.2} ms | p95 {:.2} ms | max {:.2} ms",
+        outcome.report.latency_percentile(50.0).as_secs_f64() * 1e3,
+        outcome.report.latency_percentile(95.0).as_secs_f64() * 1e3,
+        outcome.report.latency_percentile(100.0).as_secs_f64() * 1e3,
+    );
+
+    // Serving is only trustworthy if parallel == serial, bit for bit.
+    let mut identical = true;
+    for (req, got) in reqs.iter().zip(outcome.logits.iter()) {
+        let want = engine.forward(&req.patches, req.images)?;
+        identical &= want
+            .data()
+            .iter()
+            .zip(got.data().iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+    println!("bit-identical to serial forward: {identical}");
+    if !identical {
+        return Err(CliError::Runtime("parallel serving diverged from serial logits".into()));
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: Flags) -> Result<(), CliError> {
+    let path = PathBuf::from(flags.require("path")?);
+    flags.reject_unknown()?;
+    let art = Artifact::read_from(&path)?;
+    let total: usize = art.section_index().iter().map(|(_, n)| n).sum();
+    println!(
+        "{}: {:?} artifact, {} sections, {total} payload bytes",
+        path.display(),
+        art.kind(),
+        art.section_index().len()
+    );
+    for (tag, len) in art.section_index() {
+        println!("  `{tag}`  {len} bytes");
+    }
+    describe(&path, &art);
+    Ok(())
+}
+
+/// Kind-specific summary lines for `info`.
+fn describe(path: &Path, art: &Artifact) {
+    match art.kind() {
+        ascend_io::ArtifactKind::ModelCheckpoint => {
+            if let Ok(ckpt) = ModelCheckpoint::from_artifact(art) {
+                let scalars: usize = ckpt.params.iter().map(|t| t.numel()).sum();
+                println!(
+                    "  model: {} layers, dim {}, {} classes, plan {}, {scalars} scalars, calib: {}",
+                    ckpt.config.layers,
+                    ckpt.config.dim,
+                    ckpt.config.classes,
+                    ckpt.plan.name(),
+                    ckpt.calib
+                        .as_ref()
+                        .map_or("none".to_string(), |c| format!("{} images", c.batch)),
+                );
+            } else {
+                eprintln!(
+                    "warning: {} verified but does not decode as a checkpoint",
+                    path.display()
+                );
+            }
+        }
+        ascend_io::ArtifactKind::Engine => {
+            if let Ok(engine) = ScEngine::from_artifact(art) {
+                let cfg = engine.vit_config();
+                let sm = engine.softmax_block().config();
+                println!(
+                    "  engine: {} layers, dim {}, {} classes, plan {}, softmax [By={} s1={} s2={} k={}]",
+                    cfg.layers,
+                    cfg.dim,
+                    cfg.classes,
+                    engine.plan().name(),
+                    sm.by,
+                    sm.s1,
+                    sm.s2,
+                    sm.k,
+                );
+            } else {
+                eprintln!(
+                    "warning: {} verified but does not decode as an engine",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        let args: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Flags::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn flags_parse_key_value_pairs() {
+        let f = flags(&[("out", "m.ckpt"), ("epochs", "5")]);
+        assert_eq!(f.get("out"), Some("m.ckpt"));
+        assert_eq!(f.get_parsed("epochs", 0usize).unwrap(), 5);
+        assert_eq!(f.get_parsed("batch", 16usize).unwrap(), 16);
+        assert!(f.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        assert!(Flags::parse(&["positional".to_string()]).is_err());
+        assert!(Flags::parse(&["--dangling".to_string()]).is_err());
+        assert!(Flags::parse(&["--".to_string(), "x".to_string()]).is_err());
+        let twice = ["--a", "1", "--a", "2"].map(String::from);
+        assert!(Flags::parse(&twice).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let f = flags(&[("typo-flag", "1")]);
+        assert!(matches!(f.reject_unknown(), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn invalid_numeric_values_are_usage_errors() {
+        let f = flags(&[("epochs", "three")]);
+        assert!(matches!(f.get_parsed("epochs", 0usize), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn plan_names_parse_case_insensitively() {
+        assert_eq!(parse_plan("W2A2R16").unwrap(), PrecisionPlan::w2_a2_r16());
+        assert_eq!(parse_plan("fp").unwrap(), PrecisionPlan::fp());
+        assert!(parse_plan("w3a3r3").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_and_missing_flags_exit_2() {
+        assert_eq!(run(&["frobnicate".to_string()]), 2);
+        assert_eq!(run(&["compile".to_string()]), 2);
+        assert_eq!(run(&[]), 2);
+    }
+
+    #[test]
+    fn missing_artifact_file_exits_1() {
+        let args = ["eval", "--engine", "/nonexistent/engine.sceng"].map(String::from);
+        assert_eq!(run(&args), 1);
+    }
+
+    #[test]
+    fn full_pipeline_through_artifact_files() {
+        // The e2e smoke at miniature scale: train → compile → eval → serve
+        // entirely through files in a temp dir.
+        let dir = std::env::temp_dir().join(format!("ascend-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("m.ckpt").display().to_string();
+        let eng = dir.join("e.sceng").display().to_string();
+
+        let train = [
+            "train", "--out", &ckpt, "--epochs", "1", "--qat-epochs", "0", "--train-n", "32",
+            "--test-n", "16", "--calib", "8",
+        ]
+        .map(String::from);
+        assert_eq!(run(&train), 0, "train failed");
+
+        let compile = ["compile", "--model", &ckpt, "--out", &eng].map(String::from);
+        assert_eq!(run(&compile), 0, "compile failed");
+
+        let eval = ["eval", "--engine", &eng, "--test-n", "16", "--model", &ckpt]
+            .map(String::from);
+        assert_eq!(run(&eval), 0, "eval failed");
+
+        let serve = [
+            "serve", "--engine", &eng, "--requests", "3", "--images", "2", "--workers", "2",
+        ]
+        .map(String::from);
+        assert_eq!(run(&serve), 0, "serve failed");
+
+        for p in [&ckpt, &eng] {
+            let info = ["info", "--path", p].map(String::from);
+            assert_eq!(run(&info), 0, "info failed for {p}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

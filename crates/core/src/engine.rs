@@ -81,9 +81,9 @@ impl EngineConfig {
 /// Weight quantization is purely a function of the trained parameters and
 /// the precision plan, so the quantized matrices are materialized once at
 /// [`ScEngine::compile`] time instead of on every forward call.
-struct QuantLinear {
-    w: Tensor,
-    b: Tensor,
+pub(crate) struct QuantLinear {
+    pub(crate) w: Tensor,
+    pub(crate) b: Tensor,
 }
 
 impl QuantLinear {
@@ -98,21 +98,21 @@ impl QuantLinear {
 /// Per-layer compiled artifacts: folded norm affines, the GELU transfer
 /// table, the frozen quantized linears, and the quantizer step sizes
 /// snapshot from the model's sites.
-struct LayerPlan {
-    norm1_affine: (Vec<f32>, Vec<f32>),
-    norm2_affine: (Vec<f32>, Vec<f32>),
-    gelu: GateAssistedSi,
-    q: QuantLinear,
-    k: QuantLinear,
-    v: QuantLinear,
-    proj: QuantLinear,
-    fc1: QuantLinear,
-    fc2: QuantLinear,
-    attn_in_step: f32,
-    attn_out_step: f32,
-    res1_step: f32,
-    res2_step: f32,
-    mlp_in_step: f32,
+pub(crate) struct LayerPlan {
+    pub(crate) norm1_affine: (Vec<f32>, Vec<f32>),
+    pub(crate) norm2_affine: (Vec<f32>, Vec<f32>),
+    pub(crate) gelu: GateAssistedSi,
+    pub(crate) q: QuantLinear,
+    pub(crate) k: QuantLinear,
+    pub(crate) v: QuantLinear,
+    pub(crate) proj: QuantLinear,
+    pub(crate) fc1: QuantLinear,
+    pub(crate) fc2: QuantLinear,
+    pub(crate) attn_in_step: f32,
+    pub(crate) attn_out_step: f32,
+    pub(crate) res1_step: f32,
+    pub(crate) res2_step: f32,
+    pub(crate) mlp_in_step: f32,
 }
 
 /// The compiled SC inference engine.
@@ -125,16 +125,16 @@ struct LayerPlan {
 /// and the [`crate::serve`] runtime fans a request queue out over a worker
 /// pool sharing one engine by reference — no cloning, no locking.
 pub struct ScEngine {
-    vit: ascend_vit::VitConfig,
-    plan: ascend_vit::PrecisionPlan,
-    config: EngineConfig,
-    softmax: IterSoftmaxBlock,
-    layers: Vec<LayerPlan>,
-    head_affine: (Vec<f32>, Vec<f32>),
-    patch_embed: QuantLinear,
-    head: QuantLinear,
-    cls_token: Tensor,
-    pos_embedding: Tensor,
+    pub(crate) vit: ascend_vit::VitConfig,
+    pub(crate) plan: ascend_vit::PrecisionPlan,
+    pub(crate) config: EngineConfig,
+    pub(crate) softmax: IterSoftmaxBlock,
+    pub(crate) layers: Vec<LayerPlan>,
+    pub(crate) head_affine: (Vec<f32>, Vec<f32>),
+    pub(crate) patch_embed: QuantLinear,
+    pub(crate) head: QuantLinear,
+    pub(crate) cls_token: Tensor,
+    pub(crate) pos_embedding: Tensor,
 }
 
 /// Reusable per-thread scratch buffers for [`ScEngine::forward_one`].
@@ -281,6 +281,16 @@ impl ScEngine {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The precision plan the engine was compiled at.
+    pub fn plan(&self) -> &ascend_vit::PrecisionPlan {
+        &self.plan
+    }
+
+    /// Number of compiled encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
     }
 
     /// The compiled softmax block (e.g. for hardware costing).
@@ -653,29 +663,17 @@ impl Probe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ascend_vit::data::synth_cifar;
-    use ascend_vit::train::{train_model, TrainConfig};
-    use ascend_vit::{PrecisionPlan, VitConfig};
+    use crate::fixture::{train_or_load, FixtureRecipe};
+    use ascend_vit::VitConfig;
 
     fn trained_quant_model() -> (VitModel, ascend_vit::data::Dataset, ascend_vit::data::Dataset) {
-        let cfg = VitConfig {
-            image: 8,
-            patch: 4,
-            dim: 16,
-            layers: 2,
-            heads: 2,
-            classes: 4,
-            ..Default::default()
-        };
-        let mut model = VitModel::new(cfg);
-        let (train, test) = synth_cifar(4, 96, 48, 8, 5);
-        let tc = TrainConfig { epochs: 8, batch: 16, lr: 2e-3, ..Default::default() };
-        train_model(&mut model, None, &train, &test, &tc);
-        model.set_plan(PrecisionPlan::w2_a2_r16());
-        let calib = train.patches(&[0, 1, 2, 3], 4);
-        model.calibrate_steps(&calib, 4);
-        train_model(&mut model, None, &train, &test, &tc);
-        (model, train, test)
+        // The shared checkpoint-cached fixture: 8 + 8 epochs at lr 2e-3 on
+        // the tiny geometry (trains once per cache lifetime).
+        let mut recipe = FixtureRecipe::tiny("engine-unit", 5);
+        recipe.pre_epochs = 8;
+        recipe.qat_epochs = 8;
+        recipe.lr = 2e-3;
+        train_or_load(&recipe)
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   [`serve::BatchRunner`] shards a request queue across a scoped worker
 //!   pool sharing the immutable compiled engine, bit-for-bit identical to
 //!   the serial path.
+//! * [`artifact`] — **persisted engine snapshots**: `ScEngine::save` /
+//!   `ScEngine::load` / `ScEngine::compile_from_checkpoint` over the
+//!   [`ascend_io`] container, so serving processes start from artifact
+//!   files instead of retraining (train-once / serve-many).
+//! * [`fixture`] — the shared train-or-load helper for tests, benches,
+//!   and examples, backed by cached checkpoints under `target/`.
 //! * [`report`] — table formatting shared by the benchmark harness.
 //!
 //! ## Quickstart
@@ -37,7 +43,9 @@
 #![forbid(unsafe_code)]
 
 pub mod accelerator;
+pub mod artifact;
 pub mod engine;
+pub mod fixture;
 pub mod pipeline;
 pub mod report;
 pub mod serve;

@@ -1,0 +1,30 @@
+//! # ascend-io — persisted artifacts for the train-once / serve-many flow
+//!
+//! ASCEND's deployment story separates training from inference: the QAT
+//! model is trained once, compiled once, and the serving fleet only ever
+//! *loads* artifacts. This crate is the persistence layer that makes that
+//! split real, with zero external dependencies (the build is offline):
+//!
+//! * [`format`] — the hand-rolled binary container: an 8-byte magic, a
+//!   format version, an artifact kind, and a CRC-protected section table
+//!   with one CRC32 per section payload. Every read path is bounds-checked
+//!   and returns a typed [`sc_core::ScError`]; corrupt or truncated files
+//!   can never panic or mis-load.
+//! * [`checkpoint`] — [`checkpoint::ModelCheckpoint`]: the trained
+//!   [`ascend_vit::VitModel`] as plain data (config, precision plan, every
+//!   trainable tensor in bind order — including LSQ quantizer steps — BN
+//!   running statistics, and an optional calibration batch so an engine can
+//!   be compiled later without touching the training set).
+//!
+//! The compiled-engine artifact builds on [`format`] too, but lives in the
+//! `ascend` crate (`ScEngine::save`/`ScEngine::load`) because it snapshots
+//! engine internals.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod format;
+
+pub use checkpoint::{CalibBatch, ModelCheckpoint};
+pub use format::{Artifact, ArtifactKind, ArtifactWriter, SectionReader, SectionWriter};

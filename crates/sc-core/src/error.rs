@@ -37,6 +37,20 @@ pub enum ScError {
         /// Human-readable description of the constraint that was violated.
         reason: String,
     },
+    /// A persisted artifact is malformed: bad magic, unsupported version,
+    /// CRC mismatch, truncation, or an out-of-bounds section.
+    CorruptArtifact {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// A filesystem operation on an artifact path failed.
+    Io {
+        /// The path the operation was attempted on.
+        path: String,
+        /// The underlying OS error, rendered to text (kept as a string so
+        /// the error type stays `Clone + PartialEq`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScError {
@@ -50,6 +64,12 @@ impl fmt::Display for ScError {
             }
             ScError::InvalidParam { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ScError::CorruptArtifact { reason } => {
+                write!(f, "corrupt artifact: {reason}")
+            }
+            ScError::Io { path, reason } => {
+                write!(f, "i/o failure on `{path}`: {reason}")
             }
         }
     }
@@ -67,6 +87,8 @@ mod tests {
             ScError::LengthMismatch { left: 4, right: 8 },
             ScError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
             ScError::InvalidParam { name: "len", reason: "must be even".into() },
+            ScError::CorruptArtifact { reason: "crc mismatch".into() },
+            ScError::Io { path: "model.ckpt".into(), reason: "permission denied".into() },
         ];
         for c in cases {
             let s = c.to_string();

@@ -81,6 +81,34 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes into `(data, shape)` — the serialization-friendly raw parts.
+    pub fn into_parts(self) -> (Vec<f32>, Vec<usize>) {
+        (self.data, self.shape)
+    }
+
+    /// Rebuilds a tensor from raw parts without panicking, for
+    /// deserializers that must surface malformed inputs as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if `data.len()` is not the
+    /// shape product (computed with overflow checks).
+    pub fn try_from_parts(data: Vec<f32>, shape: Vec<usize>) -> Result<Self, String> {
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| format!("shape {shape:?} overflows the element count"))?;
+        if data.len() != numel {
+            return Err(format!(
+                "data length {} does not match shape {:?} ({} elements)",
+                data.len(),
+                shape,
+                numel
+            ));
+        }
+        Ok(Tensor { data, shape })
+    }
+
     /// The single value of a one-element tensor.
     ///
     /// # Panics
@@ -530,5 +558,19 @@ mod tests {
         assert_eq!(b.sub(&a).data(), &[2.0, 2.0]);
         assert_eq!(a.mul(&b).data(), &[3.0, 8.0]);
         assert_eq!(a.scale(-2.0).data(), &[-2.0, -4.0]);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_exact() {
+        let a = Tensor::from_vec(vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE], &[2, 2]);
+        let (data, shape) = a.clone().into_parts();
+        let b = Tensor::try_from_parts(data, shape).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_mismatch_and_overflow() {
+        assert!(Tensor::try_from_parts(vec![0.0; 3], vec![2, 2]).is_err());
+        assert!(Tensor::try_from_parts(vec![], vec![usize::MAX, usize::MAX]).is_err());
     }
 }

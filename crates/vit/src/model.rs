@@ -45,6 +45,13 @@ impl Linear {
         out.push(&mut self.b);
     }
 
+    /// Immutable twin of [`Linear::collect_params`] (same order).
+    pub fn collect_params_ref<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        out.push(&self.w);
+        out.push(&self.w_site.step);
+        out.push(&self.b);
+    }
+
     /// Forward over `[n, in]` with the plan's weight precision.
     pub fn forward<'g>(
         &self,
@@ -91,6 +98,15 @@ impl Attention {
         self.v.collect_params(out);
         out.push(&mut self.out_site.step);
         self.proj.collect_params(out);
+    }
+
+    fn collect_params_ref<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        out.push(&self.in_site.step);
+        self.q.collect_params_ref(out);
+        self.k.collect_params_ref(out);
+        self.v.collect_params_ref(out);
+        out.push(&self.out_site.step);
+        self.proj.collect_params_ref(out);
     }
 
     /// Query projection.
@@ -201,6 +217,13 @@ impl Mlp {
         self.fc2.collect_params(out);
     }
 
+    fn collect_params_ref<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        out.push(&self.in_site.step);
+        self.fc1.collect_params_ref(out);
+        out.push(&self.mid_site.step);
+        self.fc2.collect_params_ref(out);
+    }
+
     fn forward<'g>(&self, bind: &mut Binder<'g>, x: Var<'g>, plan: &PrecisionPlan) -> Var<'g> {
         let xq = self.in_site.apply(bind, x, plan.acts);
         let h = self.fc1.forward(bind, xq, plan).gelu();
@@ -257,6 +280,15 @@ impl Block {
         self.norm2.collect_params(out);
         self.mlp.collect_params(out);
         out.push(&mut self.res_site2.step);
+    }
+
+    fn collect_params_ref<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        self.norm1.collect_params_ref(out);
+        self.attn.collect_params_ref(out);
+        out.push(&self.res_site1.step);
+        self.norm2.collect_params_ref(out);
+        self.mlp.collect_params_ref(out);
+        out.push(&self.res_site2.step);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -423,6 +455,100 @@ impl VitModel {
         self.head_norm.collect_params(&mut out);
         self.head.collect_params(&mut out);
         out
+    }
+
+    /// All trainable tensors in bind order, immutably — the checkpoint
+    /// *export* path (mirrors [`VitModel::params_mut`] exactly; asserted in
+    /// tests).
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.patch_embed.collect_params_ref(&mut out);
+        out.push(&self.cls);
+        out.push(&self.pos);
+        for b in &self.blocks {
+            b.collect_params_ref(&mut out);
+        }
+        self.head_norm.collect_params_ref(&mut out);
+        self.head.collect_params_ref(&mut out);
+        out
+    }
+
+    /// Overwrites every trainable tensor from `values` (bind order) — the
+    /// checkpoint *import* path. This restores weights, biases, norm
+    /// affines, embeddings, and every LSQ quantizer step in one sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch (count or per-tensor
+    /// shape) and leaves the model unchanged in that case.
+    pub fn load_params(&mut self, values: &[Tensor]) -> Result<(), String> {
+        let shapes: Vec<Vec<usize>> = self.params().iter().map(|t| t.shape().to_vec()).collect();
+        if values.len() != shapes.len() {
+            return Err(format!(
+                "checkpoint holds {} tensors, model expects {}",
+                values.len(),
+                shapes.len()
+            ));
+        }
+        for (i, (v, want)) in values.iter().zip(shapes.iter()).enumerate() {
+            if v.shape() != want.as_slice() {
+                return Err(format!(
+                    "tensor {i} has shape {:?}, model expects {:?}",
+                    v.shape(),
+                    want
+                ));
+            }
+        }
+        for (dst, src) in self.params_mut().into_iter().zip(values.iter()) {
+            *dst = src.clone();
+        }
+        Ok(())
+    }
+
+    /// Running statistics `(mean, var)` of every norm, in traversal order:
+    /// per block `(norm1, norm2)`, then the head norm. Meaningful for
+    /// BatchNorm; LayerNorm entries are the unused defaults.
+    pub fn norm_states(&self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        let mut out = Vec::with_capacity(2 * self.blocks.len() + 1);
+        for b in &self.blocks {
+            out.push((b.norm1.running_mean(), b.norm1.running_var()));
+            out.push((b.norm2.running_mean(), b.norm2.running_var()));
+        }
+        out.push((self.head_norm.running_mean(), self.head_norm.running_var()));
+        out
+    }
+
+    /// Restores the running statistics captured by
+    /// [`VitModel::norm_states`] (same traversal order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first count or length mismatch.
+    pub fn load_norm_states(&mut self, states: &[(Vec<f32>, Vec<f32>)]) -> Result<(), String> {
+        let want = 2 * self.blocks.len() + 1;
+        if states.len() != want {
+            return Err(format!("checkpoint holds {} norm states, model expects {want}", states.len()));
+        }
+        let d = self.config.dim;
+        for (i, (m, v)) in states.iter().enumerate() {
+            if m.len() != d || v.len() != d {
+                return Err(format!(
+                    "norm state {i} has lengths {}/{}, model width is {d}",
+                    m.len(),
+                    v.len()
+                ));
+            }
+        }
+        let mut it = states.iter().cloned();
+        for b in &mut self.blocks {
+            let (m, v) = it.next().expect("count checked");
+            b.norm1.set_running_stats(m, v)?;
+            let (m, v) = it.next().expect("count checked");
+            b.norm2.set_running_stats(m, v)?;
+        }
+        let (m, v) = it.next().expect("count checked");
+        self.head_norm.set_running_stats(m, v)?;
+        Ok(())
     }
 
     /// Runs the model on pre-extracted patches
@@ -664,6 +790,62 @@ mod tests {
         // Predict still works after calibration.
         let y = model.predict(&patches, 2);
         assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn params_ref_mirrors_params_mut_order() {
+        let cfg = tiny_config();
+        let mut model = VitModel::new(cfg);
+        let ref_shapes: Vec<Vec<usize>> =
+            model.params().iter().map(|t| t.shape().to_vec()).collect();
+        let mut_shapes: Vec<Vec<usize>> =
+            model.params_mut().iter().map(|t| t.shape().to_vec()).collect();
+        assert_eq!(ref_shapes, mut_shapes);
+        assert_eq!(ref_shapes.len(), model.param_count());
+    }
+
+    #[test]
+    fn load_params_roundtrips_predictions_exactly() {
+        let mut cfg = tiny_config();
+        cfg.norm = NormKind::Batch;
+        let model = VitModel::new(cfg);
+        let patches = fake_patches(&cfg, 2);
+        // Perturb state away from init: one train-mode pass moves BN stats.
+        let g = Graph::new();
+        let _ = model.forward(&g, &patches, 2, Mode::Train);
+        let want = model.predict(&patches, 2);
+
+        let params: Vec<Tensor> = model.params().into_iter().cloned().collect();
+        let norms = model.norm_states();
+        let mut twin = VitModel::new(cfg);
+        twin.set_plan(model.plan());
+        twin.load_params(&params).unwrap();
+        twin.load_norm_states(&norms).unwrap();
+        let got = twin.predict(&patches, 2);
+        assert_eq!(want.shape(), got.shape());
+        for (a, b) in want.data().iter().zip(got.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "restored model must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn load_params_rejects_wrong_count_and_shape() {
+        let cfg = tiny_config();
+        let mut model = VitModel::new(cfg);
+        assert!(model.load_params(&[]).is_err());
+        let mut params: Vec<Tensor> = model.params().into_iter().cloned().collect();
+        params[0] = Tensor::zeros(&[1, 1]);
+        assert!(model.load_params(&params).is_err());
+    }
+
+    #[test]
+    fn load_norm_states_rejects_bad_lengths() {
+        let cfg = tiny_config();
+        let mut model = VitModel::new(cfg);
+        assert!(model.load_norm_states(&[]).is_err());
+        let mut states = model.norm_states();
+        states[1].0.pop();
+        assert!(model.load_norm_states(&states).is_err());
     }
 
     #[test]

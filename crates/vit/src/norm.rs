@@ -64,6 +64,26 @@ impl Norm {
         self.running_var.borrow().clone()
     }
 
+    /// Overwrites the running statistics — the checkpoint-restore path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if either vector's length
+    /// differs from the layer width.
+    pub fn set_running_stats(&mut self, mean: Vec<f32>, var: Vec<f32>) -> Result<(), String> {
+        let d = self.gamma.numel();
+        if mean.len() != d || var.len() != d {
+            return Err(format!(
+                "running stats of lengths {}/{} do not fit a width-{d} norm",
+                mean.len(),
+                var.len()
+            ));
+        }
+        *self.running_mean.borrow_mut() = mean;
+        *self.running_var.borrow_mut() = var;
+        Ok(())
+    }
+
     /// Number of trainable tensors (γ and β).
     pub const PARAM_COUNT: usize = 2;
 
@@ -71,6 +91,12 @@ impl Norm {
     pub fn collect_params<'a>(&'a mut self, out: &mut Vec<&'a mut Tensor>) {
         out.push(&mut self.gamma);
         out.push(&mut self.beta);
+    }
+
+    /// Immutable twin of [`Norm::collect_params`] (same order).
+    pub fn collect_params_ref<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        out.push(&self.gamma);
+        out.push(&self.beta);
     }
 
     /// Forward over `[n, d]`.

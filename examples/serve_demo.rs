@@ -5,34 +5,31 @@
 //! Run with: `cargo run --release -p ascend-examples --bin serve_demo`
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
 use ascend_examples::section;
-use ascend_vit::data::synth_cifar;
-use ascend_vit::train::{train_model, TrainConfig};
-use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
 use std::time::Instant;
 
 fn main() {
-    section("training a tiny SC-friendly ViT");
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
-        ..Default::default()
-    };
-    let mut model = VitModel::new(cfg);
-    let (train, test) = synth_cifar(4, 96, 48, 8, 5);
-    let tc = TrainConfig { epochs: 4, batch: 16, ..Default::default() };
-    train_model(&mut model, None, &train, &test, &tc);
-    model.set_plan(PrecisionPlan::w2_a2_r16());
-    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
-    model.calibrate_steps(&calib, 16);
-    train_model(&mut model, None, &train, &test, &tc);
-    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16)
-        .expect("engine compiles");
+    section("training a tiny SC-friendly ViT (checkpoint-cached)");
+    let mut recipe = FixtureRecipe::tiny("serve-demo", 5);
+    recipe.pre_epochs = 4;
+    recipe.qat_epochs = 4;
+    let (compiled, _train, test) =
+        engine_or_load(&recipe, EngineConfig::default()).expect("engine compiles");
+
+    section("persisting and re-loading the engine artifact");
+    let artifact = std::env::temp_dir().join(format!("serve-demo-{}.sceng", std::process::id()));
+    compiled.save(&artifact).expect("engine saves");
+    // From here on the demo serves from the *loaded* engine — exactly what
+    // a serving process does: no model, no dataset, no training code.
+    let engine = ScEngine::load(&artifact).expect("engine loads");
+    println!(
+        "saved + re-loaded {} ({} bytes) — serving from the loaded artifact",
+        artifact.display(),
+        std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0)
+    );
+    std::fs::remove_file(&artifact).ok();
 
     section("serial baseline");
     let n = test.len();

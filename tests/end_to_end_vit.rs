@@ -1,29 +1,21 @@
 //! Integration: trained quantized ViT → SC engine, end to end.
 
 use ascend::engine::{EngineConfig, ScEngine};
-use ascend_vit::data::synth_cifar;
-use ascend_vit::train::{evaluate, train_model, TrainConfig};
-use ascend_vit::{PrecisionPlan, SoftmaxKind, VitConfig, VitModel};
+use ascend::fixture::{train_or_load, FixtureRecipe};
+use ascend_vit::train::evaluate;
+use ascend_vit::{SoftmaxKind, VitConfig, VitModel};
 
 fn trained_model() -> (VitModel, ascend_vit::data::Dataset, ascend_vit::data::Dataset) {
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
-        ..Default::default()
-    };
-    let mut model = VitModel::new(cfg);
-    let (train, test) = synth_cifar(4, 128, 64, 8, 21);
-    let tc = TrainConfig { epochs: 6, batch: 16, lr: 2e-3, ..Default::default() };
-    train_model(&mut model, None, &train, &test, &tc);
-    model.set_plan(PrecisionPlan::w2_a2_r16());
-    let calib = train.patches(&(0..8).collect::<Vec<_>>(), 4);
-    model.calibrate_steps(&calib, 8);
-    train_model(&mut model, None, &train, &test, &tc);
-    (model, train, test)
+    // Checkpoint-cached fixture: 6 + 6 epochs at lr 2e-3 on a larger
+    // split (trains once per cache lifetime).
+    let mut recipe = FixtureRecipe::tiny("e2e-qat", 21);
+    recipe.n_train = 128;
+    recipe.n_test = 64;
+    recipe.pre_epochs = 6;
+    recipe.qat_epochs = 6;
+    recipe.lr = 2e-3;
+    recipe.calib_n = 8;
+    train_or_load(&recipe)
 }
 
 #[test]
@@ -62,20 +54,15 @@ fn engine_deterministic_across_runs() {
 fn float_model_softmax_swap_changes_little_after_training_with_it() {
     // Train *with* the approximate softmax (as stage 2 does), then verify
     // exact-softmax eval is close — the adaptation argument of §V.
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
+    let mut recipe = FixtureRecipe::tiny("e2e-approx-softmax", 31);
+    recipe.model = VitConfig {
         softmax: SoftmaxKind::IterApprox { k: 3 },
-        ..Default::default()
+        ..recipe.model
     };
-    let mut model = VitModel::new(cfg);
-    let (train, test) = synth_cifar(4, 96, 48, 8, 31);
-    let tc = TrainConfig { epochs: 6, batch: 16, lr: 2e-3, ..Default::default() };
-    train_model(&mut model, None, &train, &test, &tc);
+    recipe.pre_epochs = 6;
+    recipe.lr = 2e-3;
+    recipe.plan = ascend_vit::PrecisionPlan::fp(); // FP: no plan switch
+    let (mut model, _train, test) = train_or_load(&recipe);
     let acc_approx = evaluate(&model, &test, 16);
     model.set_softmax(SoftmaxKind::Exact);
     let acc_exact = evaluate(&model, &test, 16);

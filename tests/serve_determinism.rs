@@ -7,31 +7,21 @@
 //! parallelism is purely a scheduling concern and never a numerics one.
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
 use ascend_tensor::Tensor;
-use ascend_vit::data::{synth_cifar, Dataset};
-use ascend_vit::train::{train_model, TrainConfig};
-use ascend_vit::{PrecisionPlan, VitConfig, VitModel};
+use ascend_vit::data::Dataset;
 
 fn tiny_engine() -> (ScEngine, Dataset) {
-    let cfg = VitConfig {
-        image: 8,
-        patch: 4,
-        dim: 16,
-        layers: 2,
-        heads: 2,
-        classes: 4,
-        ..Default::default()
-    };
-    let mut model = VitModel::new(cfg);
-    let (train, test) = synth_cifar(4, 48, 24, 8, 5);
-    let tc = TrainConfig { epochs: 2, batch: 16, ..Default::default() };
-    train_model(&mut model, None, &train, &test, &tc);
-    model.set_plan(PrecisionPlan::w2_a2_r16());
-    let calib = train.patches(&(0..16).collect::<Vec<_>>(), 4);
-    model.calibrate_steps(&calib, 16);
-    let engine = ScEngine::compile(&model, EngineConfig::default(), &calib, 16)
-        .expect("tiny engine compiles");
+    // Checkpoint-cached fixture: 2 FP epochs, calibrate, no QAT epochs —
+    // determinism tests only need *a* compiled engine, trained once.
+    let mut recipe = FixtureRecipe::tiny("serve-tiny", 5);
+    recipe.n_train = 48;
+    recipe.n_test = 24;
+    recipe.pre_epochs = 2;
+    recipe.qat_epochs = 0;
+    let (engine, _train, test) =
+        engine_or_load(&recipe, EngineConfig::default()).expect("tiny engine compiles");
     (engine, test)
 }
 
