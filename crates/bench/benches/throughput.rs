@@ -6,6 +6,7 @@
 //! against `serve_runner_w4_batch32`.
 
 use ascend::engine::EngineConfig;
+use ascend::InferenceBackend;
 use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -1,6 +1,7 @@
 //! Criterion benchmarks of ViT inference: float model vs SC engine.
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::fixture::{train_or_load, FixtureRecipe};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -7,6 +7,7 @@
 
 use ascend::accelerator::{AcceleratorConfig, AcceleratorModel};
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::pipeline::{Pipeline, PipelineConfig};
 use ascend::report::{eng, TextTable};
 use sc_hw::CellLibrary;

@@ -19,7 +19,8 @@
 use std::path::{Path, PathBuf};
 
 use ascend::engine::{EngineConfig, ScEngine};
-use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
+use ascend::serve::ServeRequest;
+use ascend::{BackendKind, Session};
 use ascend_io::format::Artifact;
 use ascend_io::ModelCheckpoint;
 use ascend_vit::data::synth_cifar;
@@ -42,11 +43,14 @@ SUBCOMMANDS:
     compile  Compile an SC engine from a checkpoint and save the artifact
              --model PATH (required)  --out PATH (required)
              --by 8  --s1 32  --s2 8  --k 3
-    eval     Measure SC top-1 accuracy of a saved engine
-             --engine PATH (required)  [--model PATH for float comparison]
-             --test-n 48  --data-seed 7  --batch 16
-    serve    Run the parallel serving runtime on a saved engine
-             --engine PATH (required)  --requests 8  --images 4
+    eval     Measure top-1 accuracy of a saved artifact on a chosen backend
+             --engine PATH (required; engine artifact, or checkpoint)
+             --backend sc|ref (sc; ref needs a checkpoint artifact)
+             [--model PATH for float comparison]  [--fault-rate 0.0]
+             [--fault-seed 7]  --test-n 48  --data-seed 7  --batch 16
+    serve    Run the parallel serving runtime on a saved artifact
+             --engine PATH (required; engine artifact, or checkpoint)
+             --backend sc|ref (sc)  --requests 8  --images 4
              --workers 0 (auto)  --micro-batch 4  --queue-depth 2
              --data-seed 7
     info     Describe any artifact file
@@ -284,20 +288,47 @@ fn cmd_compile(flags: Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the shared `--backend sc|ref` flag.
+fn parse_backend(flags: &Flags) -> Result<BackendKind, CliError> {
+    match flags.get("backend") {
+        None => Ok(BackendKind::Sc),
+        Some(s) => s
+            .parse()
+            .map_err(|e: sc_core::ScError| CliError::Usage(e.to_string())),
+    }
+}
+
 fn cmd_eval(flags: Flags) -> Result<(), CliError> {
     let engine_path = PathBuf::from(flags.require("engine")?);
+    let backend = parse_backend(&flags)?;
     let model_path = flags.get("model").map(PathBuf::from);
+    let fault_rate: f64 = flags.get_parsed("fault-rate", 0.0)?;
+    let fault_seed: u64 = flags.get_parsed("fault-seed", 7)?;
     let n_test: usize = flags.get_parsed("test-n", 48)?;
     let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
     let batch: usize = flags.get_parsed("batch", 16)?;
     flags.reject_unknown()?;
 
-    let engine = ScEngine::load(&engine_path)?;
-    let cfg = *engine.vit_config();
+    // Gate on flag *presence*, not value, so an invalid rate (negative,
+    // NaN, > 1) reaches the builder's validation instead of being
+    // silently ignored as "no faults requested".
+    let fault_requested = flags.get("fault-rate").is_some();
+    if !fault_requested && flags.get("fault-seed").is_some() {
+        return Err(CliError::Usage(
+            "--fault-seed has no effect without --fault-rate".into(),
+        ));
+    }
+    let mut builder = Session::builder().artifact(&engine_path).backend(backend);
+    if fault_requested {
+        builder = builder.fault(fault_rate, fault_seed);
+    }
+    let session = builder.build()?;
+    let cfg = *session.backend().vit_config();
     let (_, test) = synth_cifar(cfg.classes, 1, n_test, cfg.image, data_seed);
-    let sc_acc = engine.accuracy(&test, batch)? * 100.0;
+    let acc = session.accuracy(&test, batch)? * 100.0;
     println!(
-        "SC engine accuracy on SynthCIFAR-{} ({n_test} images): {sc_acc:.2}%",
+        "`{}` backend accuracy on SynthCIFAR-{} ({n_test} images): {acc:.2}%",
+        session.backend().name(),
         cfg.classes
     );
     if let Some(mp) = model_path {
@@ -310,6 +341,7 @@ fn cmd_eval(flags: Flags) -> Result<(), CliError> {
 
 fn cmd_serve(flags: Flags) -> Result<(), CliError> {
     let engine_path = PathBuf::from(flags.require("engine")?);
+    let backend = parse_backend(&flags)?;
     let requests: usize = flags.get_parsed("requests", 8)?;
     let images: usize = flags.get_parsed("images", 4)?;
     let workers: usize = flags.get_parsed("workers", 0)?;
@@ -321,8 +353,14 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
         return Err(CliError::Usage("--requests and --images must be non-zero".into()));
     }
 
-    let engine = ScEngine::load(&engine_path)?;
-    let cfg = *engine.vit_config();
+    let session = Session::builder()
+        .artifact(&engine_path)
+        .backend(backend)
+        .workers(workers)
+        .micro_batch(micro_batch)
+        .queue_depth(queue_depth)
+        .build()?;
+    let cfg = *session.backend().vit_config();
     let n = requests * images;
     let (_, test) = synth_cifar(cfg.classes, 1, n, cfg.image, data_seed);
     let mut reqs = Vec::with_capacity(requests);
@@ -330,13 +368,8 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
         let idx: Vec<usize> = (r * images..(r + 1) * images).collect();
         reqs.push(ServeRequest::new(test.patches(&idx, cfg.patch), images));
     }
-    let serve_cfg = if workers == 0 {
-        ServeConfig { micro_batch, queue_depth, ..ServeConfig::auto() }
-    } else {
-        ServeConfig { workers, micro_batch, queue_depth }
-    };
-    let runner = BatchRunner::new(&engine, serve_cfg)?;
-    let outcome = runner.run(&reqs)?;
+    println!("serving on the `{}` backend", session.backend().name());
+    let outcome = session.runner()?.run(&reqs)?;
     println!("{}", outcome.report.summary());
     println!(
         "request latencies: p50 {:.2} ms | p95 {:.2} ms | max {:.2} ms",
@@ -345,10 +378,11 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
         outcome.report.latency_percentile(100.0).as_secs_f64() * 1e3,
     );
 
-    // Serving is only trustworthy if parallel == serial, bit for bit.
+    // Serving is only trustworthy if parallel == serial, bit for bit —
+    // for every backend, not just the SC engine.
     let mut identical = true;
     for (req, got) in reqs.iter().zip(outcome.logits.iter()) {
-        let want = engine.forward(&req.patches, req.images)?;
+        let want = session.forward(&req.patches, req.images)?;
         identical &= want
             .data()
             .iter()
@@ -485,6 +519,13 @@ mod tests {
     }
 
     #[test]
+    fn unknown_backend_is_a_usage_error() {
+        let args =
+            ["eval", "--engine", "whatever.sceng", "--backend", "fpga"].map(String::from);
+        assert_eq!(run(&args), 2, "bad --backend must exit 2 before touching the file");
+    }
+
+    #[test]
     fn missing_artifact_file_exits_1() {
         let args = ["eval", "--engine", "/nonexistent/engine.sceng"].map(String::from);
         assert_eq!(run(&args), 1);
@@ -513,11 +554,56 @@ mod tests {
             .map(String::from);
         assert_eq!(run(&eval), 0, "eval failed");
 
+        // The float-reference backend evaluates straight from the
+        // checkpoint — no compiled engine artifact needed.
+        let eval_ref = [
+            "eval", "--engine", &ckpt, "--backend", "ref", "--test-n", "16",
+        ]
+        .map(String::from);
+        assert_eq!(run(&eval_ref), 0, "eval --backend ref failed");
+
+        // The SC backend also compiles on the fly from a checkpoint.
+        let eval_sc_ckpt = [
+            "eval", "--engine", &ckpt, "--backend", "sc", "--test-n", "8",
+        ]
+        .map(String::from);
+        assert_eq!(run(&eval_sc_ckpt), 0, "eval --backend sc from checkpoint failed");
+
+        // Fault injection rides along as a decorator.
+        let eval_fault = [
+            "eval", "--engine", &eng, "--fault-rate", "0.01", "--test-n", "8",
+        ]
+        .map(String::from);
+        assert_eq!(run(&eval_fault), 0, "eval --fault-rate failed");
+
+        // An out-of-range rate must be rejected, not silently un-faulted.
+        let bad_fault =
+            ["eval", "--engine", &eng, "--fault-rate", "-0.5"].map(String::from);
+        assert_eq!(run(&bad_fault), 1, "negative fault rate must fail");
+
+        // A seed without a rate is a no-op the user should hear about.
+        let orphan_seed =
+            ["eval", "--engine", &eng, "--fault-seed", "9"].map(String::from);
+        assert_eq!(run(&orphan_seed), 2, "--fault-seed without --fault-rate must be usage error");
+
         let serve = [
             "serve", "--engine", &eng, "--requests", "3", "--images", "2", "--workers", "2",
         ]
         .map(String::from);
         assert_eq!(run(&serve), 0, "serve failed");
+
+        let serve_ref = [
+            "serve", "--engine", &ckpt, "--backend", "ref", "--requests", "2", "--images",
+            "2", "--workers", "2",
+        ]
+        .map(String::from);
+        assert_eq!(run(&serve_ref), 0, "serve --backend ref failed");
+
+        // A compiled engine artifact cannot feed the reference backend:
+        // runtime failure (exit 1), not a usage error.
+        let ref_from_engine =
+            ["eval", "--engine", &eng, "--backend", "ref"].map(String::from);
+        assert_eq!(run(&ref_from_engine), 1, "ref from engine artifact must fail");
 
         for p in [&ckpt, &eng] {
             let info = ["info", "--path", p].map(String::from);

@@ -33,7 +33,7 @@ use sc_core::ScError;
 use sc_nonlinear::gate_si::GateAssistedSi;
 use sc_nonlinear::softmax_iter::{IterSoftmaxBlock, IterSoftmaxConfig};
 
-use crate::engine::{EngineConfig, LayerPlan, QuantLinear, ScEngine};
+use crate::engine::{EngineConfig, LayerPlan, QuantLayerSnapshot, QuantLinear, ScEngine};
 
 const TAG_ENGINE_CONFIG: [u8; 4] = *b"ECFG";
 const TAG_SOFTMAX: [u8; 4] = *b"SMAX";
@@ -82,14 +82,17 @@ impl ScEngine {
         let mut layr = SectionWriter::new();
         layr.put_usize(self.layers.len());
         for lp in &self.layers {
-            put_affine(&mut layr, &lp.norm1_affine);
-            put_affine(&mut layr, &lp.norm2_affine);
+            let sn = &lp.snap;
+            put_affine(&mut layr, &sn.norm1_affine);
+            put_affine(&mut layr, &sn.norm2_affine);
             put_gelu(&mut layr, &lp.gelu);
-            for lin in [&lp.q, &lp.k, &lp.v, &lp.proj, &lp.fc1, &lp.fc2] {
+            for lin in [&sn.q, &sn.k, &sn.v, &sn.proj, &sn.fc1, &sn.fc2] {
                 put_linear(&mut layr, lin);
             }
+            // `mlp_mid_step` is not written separately: it is the GELU
+            // output codec's scale by construction, recovered on load.
             for step in
-                [lp.attn_in_step, lp.attn_out_step, lp.res1_step, lp.res2_step, lp.mlp_in_step]
+                [sn.attn_in_step, sn.attn_out_step, sn.res1_step, sn.res2_step, sn.mlp_in_step]
             {
                 layr.put_f32(step);
             }
@@ -150,21 +153,28 @@ impl ScEngine {
             let res1_step = layr.get_f32()?;
             let res2_step = layr.get_f32()?;
             let mlp_in_step = layr.get_f32()?;
+            // The GELU output grid was compiled at the MLP mid-site step
+            // (`Thermometer::new(act_bsl, mlp_mid_step)`), so the stored
+            // codec scale *is* the step — exact for any f32-valued step.
+            let mlp_mid_step = gelu.output().scale() as f32;
             layers.push(LayerPlan {
-                norm1_affine,
-                norm2_affine,
+                snap: QuantLayerSnapshot {
+                    norm1_affine,
+                    norm2_affine,
+                    q,
+                    k,
+                    v,
+                    proj,
+                    fc1,
+                    fc2,
+                    attn_in_step,
+                    attn_out_step,
+                    res1_step,
+                    res2_step,
+                    mlp_in_step,
+                    mlp_mid_step,
+                },
                 gelu,
-                q,
-                k,
-                v,
-                proj,
-                fc1,
-                fc2,
-                attn_in_step,
-                attn_out_step,
-                res1_step,
-                res2_step,
-                mlp_in_step,
             });
         }
         layr.expect_end()?;
@@ -258,13 +268,14 @@ fn validate_engine(e: &ScEngine) -> Result<(), ScError> {
         ));
     }
     for (i, lp) in e.layers.iter().enumerate() {
-        affine(&format!("layer {i} norm1"), &lp.norm1_affine)?;
-        affine(&format!("layer {i} norm2"), &lp.norm2_affine)?;
-        for (name, lin) in [("q", &lp.q), ("k", &lp.k), ("v", &lp.v), ("proj", &lp.proj)] {
+        let sn = &lp.snap;
+        affine(&format!("layer {i} norm1"), &sn.norm1_affine)?;
+        affine(&format!("layer {i} norm2"), &sn.norm2_affine)?;
+        for (name, lin) in [("q", &sn.q), ("k", &sn.k), ("v", &sn.v), ("proj", &sn.proj)] {
             linear(&format!("layer {i} {name}"), lin, d, d)?;
         }
-        linear(&format!("layer {i} fc1"), &lp.fc1, d, hidden)?;
-        linear(&format!("layer {i} fc2"), &lp.fc2, hidden, d)?;
+        linear(&format!("layer {i} fc1"), &sn.fc1, d, hidden)?;
+        linear(&format!("layer {i} fc2"), &sn.fc2, hidden, d)?;
     }
     affine("head", &e.head_affine)?;
     linear("patch embed", &e.patch_embed, cfg.patch_dim(), d)?;
@@ -443,7 +454,7 @@ mod tests {
     #[test]
     fn truncated_weight_matrix_is_rejected_at_load() {
         let mut engine = tiny_engine();
-        engine.layers[0].fc1.w = ascend_tensor::Tensor::zeros(&[1, 1]);
+        engine.layers[0].snap.fc1.w = ascend_tensor::Tensor::zeros(&[1, 1]);
         let art = Artifact::from_bytes(&engine.to_artifact().to_bytes()).unwrap();
         let err = ScEngine::from_artifact(&art).map(|_| ()).unwrap_err();
         assert!(matches!(err, ScError::CorruptArtifact { .. }), "got {err:?}");

@@ -87,7 +87,7 @@ pub(crate) struct QuantLinear {
 }
 
 impl QuantLinear {
-    fn compile(lin: &ascend_vit::model::Linear, bsl: Option<usize>) -> QuantLinear {
+    pub(crate) fn compile(lin: &ascend_vit::model::Linear, bsl: Option<usize>) -> QuantLinear {
         QuantLinear {
             w: fake_quant(&lin.w, lin.w_site.step_value(), bsl),
             b: lin.b.clone(),
@@ -95,13 +95,18 @@ impl QuantLinear {
     }
 }
 
-/// Per-layer compiled artifacts: folded norm affines, the GELU transfer
-/// table, the frozen quantized linears, and the quantizer step sizes
-/// snapshot from the model's sites.
-pub(crate) struct LayerPlan {
+/// The frozen per-layer network state every backend executes: folded norm
+/// affines, pre-quantized linears, and the quantizer step sizes snapshot
+/// from the model's sites.
+///
+/// This is **the** definition of "same frozen state" that the SC engine
+/// and the float reference share — both compile paths capture layers
+/// through [`QuantLayerSnapshot::capture`], so a change to a quantization
+/// site or to affine folding can never reach one backend and not the
+/// other (`tests/backend_parity.rs` rests on that).
+pub(crate) struct QuantLayerSnapshot {
     pub(crate) norm1_affine: (Vec<f32>, Vec<f32>),
     pub(crate) norm2_affine: (Vec<f32>, Vec<f32>),
-    pub(crate) gelu: GateAssistedSi,
     pub(crate) q: QuantLinear,
     pub(crate) k: QuantLinear,
     pub(crate) v: QuantLinear,
@@ -113,6 +118,43 @@ pub(crate) struct LayerPlan {
     pub(crate) res1_step: f32,
     pub(crate) res2_step: f32,
     pub(crate) mlp_in_step: f32,
+    pub(crate) mlp_mid_step: f32,
+}
+
+impl QuantLayerSnapshot {
+    /// Captures one encoder block's frozen state under `plan`.
+    pub(crate) fn capture(
+        block: &ascend_vit::model::Block,
+        plan: &ascend_vit::PrecisionPlan,
+    ) -> Self {
+        let (n1, n2) = block.norms();
+        let (in_site_a, out_site_a) = block.attn().sites();
+        let (res1, res2) = block.res_sites();
+        let (mlp_in, mlp_mid) = block.mlp().sites();
+        QuantLayerSnapshot {
+            norm1_affine: n1.folded_affine(),
+            norm2_affine: n2.folded_affine(),
+            q: QuantLinear::compile(block.attn().q(), plan.weights),
+            k: QuantLinear::compile(block.attn().k(), plan.weights),
+            v: QuantLinear::compile(block.attn().v(), plan.weights),
+            proj: QuantLinear::compile(block.attn().proj(), plan.weights),
+            fc1: QuantLinear::compile(block.mlp().fc1(), plan.weights),
+            fc2: QuantLinear::compile(block.mlp().fc2(), plan.weights),
+            attn_in_step: in_site_a.step_value(),
+            attn_out_step: out_site_a.step_value(),
+            res1_step: res1.step_value(),
+            res2_step: res2.step_value(),
+            mlp_in_step: mlp_in.step_value(),
+            mlp_mid_step: mlp_mid.step_value(),
+        }
+    }
+}
+
+/// Per-layer compiled artifacts of the SC engine: the shared frozen
+/// snapshot plus the SC-only GELU transfer table.
+pub(crate) struct LayerPlan {
+    pub(crate) snap: QuantLayerSnapshot,
+    pub(crate) gelu: GateAssistedSi,
 }
 
 /// The compiled SC inference engine.
@@ -137,12 +179,24 @@ pub struct ScEngine {
     pub(crate) pos_embedding: Tensor,
 }
 
-/// Reusable per-thread scratch buffers for [`ScEngine::forward_one`].
+/// Reusable per-thread scratch buffers for
+/// [`InferenceBackend::forward_one`](crate::backend::InferenceBackend::forward_one).
 ///
 /// Holding the scratch outside the per-image loop keeps the hot path free
-/// of repeated allocations; each serving worker owns one instance.
+/// of repeated allocations; each serving worker owns one instance. The
+/// buffers are backend-specific capacity, not state: any backend accepts a
+/// scratch made by any other backend of the same geometry (buffers are
+/// resized on use), so decorators can delegate scratch allocation freely.
 pub struct ForwardScratch {
-    softmax_row: Vec<f64>,
+    pub(crate) softmax_row: Vec<f64>,
+}
+
+impl ForwardScratch {
+    /// A scratch with no pre-sized buffers — for backends that need none
+    /// (buffers grow on first use if a backend does touch them).
+    pub(crate) fn empty() -> Self {
+        ForwardScratch { softmax_row: Vec::new() }
+    }
 }
 
 impl ScEngine {
@@ -236,31 +290,13 @@ impl ScEngine {
         let plan = model.plan();
         let mut layers = Vec::with_capacity(model.blocks().len());
         for (li, block) in model.blocks().iter().enumerate() {
-            let (n1, n2) = block.norms();
-            let (in_site_a, out_site_a) = block.attn().sites();
-            let (res1, res2) = block.res_sites();
-            let (mlp_in, mid_site) = block.mlp().sites();
+            let snap = QuantLayerSnapshot::capture(block, &plan);
             let gelu_in =
                 Thermometer::with_range(config.gelu_bx, probe.gelu_absmax[li].max(0.5))?;
             let act_bsl = plan.acts.unwrap_or(16);
-            let gelu_out = Thermometer::new(act_bsl, mid_site.step_value() as f64)?;
+            let gelu_out = Thermometer::new(act_bsl, snap.mlp_mid_step as f64)?;
             let gelu = GateAssistedSi::compile(ref_fn::gelu, gelu_in, gelu_out)?;
-            layers.push(LayerPlan {
-                norm1_affine: folded(n1),
-                norm2_affine: folded(n2),
-                gelu,
-                q: QuantLinear::compile(block.attn().q(), plan.weights),
-                k: QuantLinear::compile(block.attn().k(), plan.weights),
-                v: QuantLinear::compile(block.attn().v(), plan.weights),
-                proj: QuantLinear::compile(block.attn().proj(), plan.weights),
-                fc1: QuantLinear::compile(block.mlp().fc1(), plan.weights),
-                fc2: QuantLinear::compile(block.mlp().fc2(), plan.weights),
-                attn_in_step: in_site_a.step_value(),
-                attn_out_step: out_site_a.step_value(),
-                res1_step: res1.step_value(),
-                res2_step: res2.step_value(),
-                mlp_in_step: mlp_in.step_value(),
-            });
+            layers.push(LayerPlan { snap, gelu });
         }
         let head_affine = folded(model.head_norm());
 
@@ -310,7 +346,8 @@ impl ScEngine {
 
     /// Allocates the scratch buffers [`ScEngine::forward_one`] needs.
     ///
-    /// One instance per thread; the serial [`ScEngine::forward`] keeps one
+    /// One instance per thread; the serial batched
+    /// [`forward`](crate::backend::InferenceBackend::forward) keeps one
     /// across its whole batch, and each [`crate::serve`] worker owns one.
     pub fn scratch(&self) -> ForwardScratch {
         ForwardScratch { softmax_row: vec![0.0f64; self.vit.seq_len()] }
@@ -319,10 +356,12 @@ impl ScEngine {
     /// Runs SC inference for **one image**, returning its logits row.
     ///
     /// `patches` holds the image's `[num_patches, patch_dim]` patch matrix.
-    /// This is the shared per-image inner loop: the serial
-    /// [`ScEngine::forward`] and the parallel [`crate::serve::BatchRunner`]
-    /// both call it, which is what makes the parallel runtime bit-for-bit
-    /// identical to the serial path by construction.
+    /// This is the shared per-image inner loop: the serial batched
+    /// [`forward`](crate::backend::InferenceBackend::forward) and the
+    /// parallel [`crate::serve::BatchRunner`] both reach it through the
+    /// [`InferenceBackend`](crate::backend::InferenceBackend) framing loop,
+    /// which is what makes the parallel runtime bit-for-bit identical to
+    /// the serial path by construction.
     ///
     /// # Errors
     ///
@@ -332,9 +371,9 @@ impl ScEngine {
     /// # Panics
     ///
     /// Panics (like the tensor ops it is built from) if `patches` is not
-    /// `[num_patches, patch_dim]`; the batched entry points
-    /// [`ScEngine::forward`]/[`ScEngine::forward_with`] validate sizes and
-    /// return [`ScError::InvalidParam`] instead.
+    /// `[num_patches, patch_dim]`; the batched
+    /// [`InferenceBackend`](crate::backend::InferenceBackend) entry points
+    /// validate sizes and return [`ScError::InvalidParam`] instead.
     pub fn forward_one(
         &self,
         patches: &Tensor,
@@ -349,113 +388,34 @@ impl ScEngine {
         let mut x = assemble_sequence(&tokens, &self.cls_token, &self.pos_embedding, 1, cfg);
 
         for lp in &self.layers {
+            let sn = &lp.snap;
             // --- MSA ---
-            let n1 = affine(&x, &lp.norm1_affine);
-            let xq = fake_quant(&n1, lp.attn_in_step, plan.acts);
-            let q = split_heads(&linear(&xq, &lp.q.w, &lp.q.b), 1, s, h, dh);
-            let k = split_heads(&linear(&xq, &lp.k.w, &lp.k.b), 1, s, h, dh);
-            let v = split_heads(&linear(&xq, &lp.v.w, &lp.v.b), 1, s, h, dh);
+            let n1 = affine(&x, &sn.norm1_affine);
+            let xq = fake_quant(&n1, sn.attn_in_step, plan.acts);
+            let q = split_heads(&linear(&xq, &sn.q.w, &sn.q.b), 1, s, h, dh);
+            let k = split_heads(&linear(&xq, &sn.k.w, &sn.k.b), 1, s, h, dh);
+            let v = split_heads(&linear(&xq, &sn.v.w, &sn.v.b), 1, s, h, dh);
             let mut scores =
                 q.batched_matmul(&k.batched_transpose()).scale(1.0 / (dh as f32).sqrt());
             self.sc_softmax_rows(&mut scores, &mut scratch.softmax_row)?;
             let ctx = merge_heads(&scores.batched_matmul(&v), 1, s, h, dh);
-            let ctxq = fake_quant(&ctx, lp.attn_out_step, plan.acts);
-            let attn_out = linear(&ctxq, &lp.proj.w, &lp.proj.b);
-            x = fake_quant(&x.add(&attn_out), lp.res1_step, plan.residual);
+            let ctxq = fake_quant(&ctx, sn.attn_out_step, plan.acts);
+            let attn_out = linear(&ctxq, &sn.proj.w, &sn.proj.b);
+            x = fake_quant(&x.add(&attn_out), sn.res1_step, plan.residual);
 
             // --- MLP with gate-assisted SI GELU ---
-            let n2 = affine(&x, &lp.norm2_affine);
-            let hq = fake_quant(&n2, lp.mlp_in_step, plan.acts);
-            let pre = linear(&hq, &lp.fc1.w, &lp.fc1.b);
+            let n2 = affine(&x, &sn.norm2_affine);
+            let hq = fake_quant(&n2, sn.mlp_in_step, plan.acts);
+            let pre = linear(&hq, &sn.fc1.w, &sn.fc1.b);
             let act = self.sc_gelu(&pre, &lp.gelu);
-            let out = linear(&act, &lp.fc2.w, &lp.fc2.b);
-            x = fake_quant(&x.add(&out), lp.res2_step, plan.residual);
+            let out = linear(&act, &sn.fc2.w, &sn.fc2.b);
+            x = fake_quant(&x.add(&out), sn.res2_step, plan.residual);
         }
 
         // Head.
         let hn = affine(&x, &self.head_affine);
         let cls = hn.reshape(&[1, s, d]).select_axis1(0);
         Ok(linear(&cls, &self.head.w, &self.head.b).into_data())
-    }
-
-    /// Runs SC inference on pre-extracted patches, returning logits.
-    ///
-    /// Every image in the batch is independent — attention never crosses
-    /// batch boundaries — so this is exactly [`ScEngine::forward_one`]
-    /// applied image by image; the batched and per-image paths are
-    /// bit-identical.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ScError::InvalidParam`] if `patches` does not hold exactly
-    /// `batch` images, and propagates softmax-block errors (infeasible
-    /// configurations are rejected at [`ScEngine::compile`] time, so the
-    /// latter is unexpected).
-    pub fn forward(&self, patches: &Tensor, batch: usize) -> Result<Tensor, ScError> {
-        let mut scratch = self.scratch();
-        self.forward_with(patches, batch, &mut scratch)
-    }
-
-    /// [`ScEngine::forward`] with caller-provided scratch — the batched
-    /// entry point shared verbatim by the serial path and every
-    /// [`crate::serve`] worker, so there is exactly one per-image framing
-    /// loop to keep the parallel/serial bit-identity contract honest.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ScEngine::forward`].
-    pub fn forward_with(
-        &self,
-        patches: &Tensor,
-        batch: usize,
-        scratch: &mut ForwardScratch,
-    ) -> Result<Tensor, ScError> {
-        let cfg = &self.vit;
-        let (p, pd, classes) = (cfg.num_patches(), cfg.patch_dim(), cfg.classes);
-        if patches.data().len() != batch * p * pd {
-            return Err(ScError::InvalidParam {
-                name: "patches",
-                reason: format!(
-                    "patch tensor holds {} values, expected {} for {batch} images of [{p}, {pd}] patches",
-                    patches.data().len(),
-                    batch * p * pd
-                ),
-            });
-        }
-        let mut out = Vec::with_capacity(batch * classes);
-        for bi in 0..batch {
-            let img = Tensor::from_vec(
-                patches.data()[bi * p * pd..(bi + 1) * p * pd].to_vec(),
-                &[p, pd],
-            );
-            out.extend(self.forward_one(&img, scratch)?);
-        }
-        Ok(Tensor::from_vec(out, &[batch, classes]))
-    }
-
-    /// Top-1 accuracy over a dataset.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ScEngine::forward`] errors.
-    pub fn accuracy(
-        &self,
-        data: &ascend_vit::data::Dataset,
-        batch: usize,
-    ) -> Result<f32, ScError> {
-        let patch = self.vit.patch;
-        let mut correct = 0usize;
-        let all: Vec<usize> = (0..data.len()).collect();
-        for chunk in all.chunks(batch.max(1)) {
-            let patches = data.patches(chunk, patch);
-            let logits = self.forward(&patches, chunk.len())?;
-            for (pred, want) in logits.argmax_rows().iter().zip(data.labels_for(chunk)) {
-                if *pred == want {
-                    correct += 1;
-                }
-            }
-        }
-        Ok(correct as f32 / data.len().max(1) as f32)
     }
 
     /// Applies the SC softmax block to every row of `[n, s, s]` scores,
@@ -492,6 +452,32 @@ impl ScEngine {
     }
 }
 
+impl crate::backend::InferenceBackend for ScEngine {
+    fn name(&self) -> &str {
+        "sc-exact"
+    }
+
+    fn vit_config(&self) -> &ascend_vit::VitConfig {
+        &self.vit
+    }
+
+    fn plan(&self) -> &ascend_vit::PrecisionPlan {
+        &self.plan
+    }
+
+    fn make_scratch(&self) -> ForwardScratch {
+        self.scratch()
+    }
+
+    fn forward_one(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        ScEngine::forward_one(self, patches, scratch)
+    }
+}
+
 /// Builds the softmax block, halving `s1`/`s2` until the configuration is
 /// feasible for the given row length.
 fn feasible_softmax(mut cfg: IterSoftmaxConfig) -> Result<IterSoftmaxBlock, ScError> {
@@ -519,7 +505,7 @@ fn feasible_softmax(mut cfg: IterSoftmaxConfig) -> Result<IterSoftmaxBlock, ScEr
 }
 
 /// Eval-mode LSQ: `round(clamp(x/s, −L/2, L/2))·s`, or pass-through in FP.
-fn fake_quant(x: &Tensor, step: f32, bsl: Option<usize>) -> Tensor {
+pub(crate) fn fake_quant(x: &Tensor, step: f32, bsl: Option<usize>) -> Tensor {
     match bsl {
         None => x.clone(),
         Some(l) => {
@@ -529,7 +515,7 @@ fn fake_quant(x: &Tensor, step: f32, bsl: Option<usize>) -> Tensor {
     }
 }
 
-fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+pub(crate) fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     let mut out = x.matmul(w);
     let (n, m) = (out.shape()[0], out.shape()[1]);
     for i in 0..n {
@@ -540,7 +526,7 @@ fn linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
-fn affine(x: &Tensor, (scale, shift): &(Vec<f32>, Vec<f32>)) -> Tensor {
+pub(crate) fn affine(x: &Tensor, (scale, shift): &(Vec<f32>, Vec<f32>)) -> Tensor {
     let (n, m) = (x.shape()[0], x.shape()[1]);
     let mut out = x.clone();
     for i in 0..n {
@@ -556,15 +542,15 @@ fn folded(norm: &Norm) -> (Vec<f32>, Vec<f32>) {
     norm.folded_affine()
 }
 
-fn split_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
+pub(crate) fn split_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
     x.reshape(&[batch, s, h, dh]).permute(&[0, 2, 1, 3]).reshape(&[batch * h, s, dh])
 }
 
-fn merge_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
+pub(crate) fn merge_heads(x: &Tensor, batch: usize, s: usize, h: usize, dh: usize) -> Tensor {
     x.reshape(&[batch, h, s, dh]).permute(&[0, 2, 1, 3]).reshape(&[batch * s, h * dh])
 }
 
-fn assemble_sequence(
+pub(crate) fn assemble_sequence(
     tokens: &Tensor,
     cls: &Tensor,
     pos: &Tensor,
@@ -663,17 +649,14 @@ impl Probe {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::InferenceBackend;
     use crate::fixture::{train_or_load, FixtureRecipe};
     use ascend_vit::VitConfig;
 
     fn trained_quant_model() -> (VitModel, ascend_vit::data::Dataset, ascend_vit::data::Dataset) {
-        // The shared checkpoint-cached fixture: 8 + 8 epochs at lr 2e-3 on
-        // the tiny geometry (trains once per cache lifetime).
-        let mut recipe = FixtureRecipe::tiny("engine-unit", 5);
-        recipe.pre_epochs = 8;
-        recipe.qat_epochs = 8;
-        recipe.lr = 2e-3;
-        train_or_load(&recipe)
+        // The shared checkpoint-cached converged fixture (trains once per
+        // cache lifetime; `tests/backend_parity.rs` rides the same cache).
+        train_or_load(&FixtureRecipe::tiny_converged("engine-unit", 5))
     }
 
     #[test]

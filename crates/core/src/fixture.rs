@@ -93,6 +93,19 @@ impl FixtureRecipe {
         }
     }
 
+    /// The *converged* variant of [`FixtureRecipe::tiny`]: 8 + 8 epochs at
+    /// lr 2e-3 — trained far enough that argmax comparisons between
+    /// backends are signal rather than near-tie noise. The engine unit
+    /// tests and `tests/backend_parity.rs` share this one definition (and
+    /// therefore one cached checkpoint per name).
+    pub fn tiny_converged(name: &'static str, data_seed: u64) -> Self {
+        let mut recipe = Self::tiny(name, data_seed);
+        recipe.pre_epochs = 8;
+        recipe.qat_epochs = 8;
+        recipe.lr = 2e-3;
+        recipe
+    }
+
     /// A short fingerprint of every numerics-relevant field, stored as the
     /// checkpoint's seed-adjacent guard: a cache hit must match it.
     fn fingerprint(&self) -> u64 {
@@ -125,24 +138,19 @@ fn cache_path(recipe: &FixtureRecipe) -> PathBuf {
     cache_dir().join(format!("{}-{:016x}.ckpt", recipe.name, recipe.fingerprint()))
 }
 
-/// Returns the recipe's trained model plus its datasets, training only on
-/// the first call per cache lifetime.
-///
-/// The restored model is bit-identical to the freshly trained one, so
-/// numeric snapshots (golden tests) hold across cache hits and misses.
-///
-/// # Panics
-///
-/// Panics if training itself fails to produce a restorable checkpoint —
-/// a programming error, not an I/O condition (cache write failures are
-/// swallowed; the trained model is returned regardless).
-pub fn train_or_load(recipe: &FixtureRecipe) -> (VitModel, Dataset, Dataset) {
+/// The one cache-or-train primitive behind every public fixture entry
+/// point: the trained model *and* its captured checkpoint (with the
+/// recipe's calibration batch attached), plus the datasets.
+fn train_or_load_full(
+    recipe: &FixtureRecipe,
+) -> (VitModel, ModelCheckpoint, Dataset, Dataset) {
     let (train, test) = recipe.datasets();
     let path = cache_path(recipe);
     if let Ok(ckpt) = ModelCheckpoint::load(&path) {
         if let Ok(model) = ckpt.restore() {
-            if model.config == recipe.model && model.plan() == recipe.plan {
-                return (model, train, test);
+            if model.config == recipe.model && model.plan() == recipe.plan && ckpt.calib.is_some()
+            {
+                return (model, ckpt, train, test);
             }
         }
     }
@@ -170,6 +178,22 @@ pub fn train_or_load(recipe: &FixtureRecipe) -> (VitModel, Dataset, Dataset) {
     // caller, it only costs the next run a retrain.
     let ckpt = ModelCheckpoint::capture(&model).with_calib(calib, recipe.calib_n);
     let _ = ckpt.save(&path);
+    (model, ckpt, train, test)
+}
+
+/// Returns the recipe's trained model plus its datasets, training only on
+/// the first call per cache lifetime.
+///
+/// The restored model is bit-identical to the freshly trained one, so
+/// numeric snapshots (golden tests) hold across cache hits and misses.
+///
+/// # Panics
+///
+/// Panics if training itself fails to produce a restorable checkpoint —
+/// a programming error, not an I/O condition (cache write failures are
+/// swallowed; the trained model is returned regardless).
+pub fn train_or_load(recipe: &FixtureRecipe) -> (VitModel, Dataset, Dataset) {
+    let (model, _, train, test) = train_or_load_full(recipe);
     (model, train, test)
 }
 
@@ -183,11 +207,40 @@ pub fn engine_or_load(
     recipe: &FixtureRecipe,
     config: EngineConfig,
 ) -> Result<(ScEngine, Dataset, Dataset), ScError> {
-    let (model, train, test) = train_or_load(recipe);
-    let calib_idx: Vec<usize> = (0..recipe.calib_n).collect();
-    let calib = train.patches(&calib_idx, recipe.model.patch);
-    let engine = ScEngine::compile(&model, config, &calib, recipe.calib_n)?;
+    let (model, ckpt, train, test) = train_or_load_full(recipe);
+    let calib = ckpt.calib.as_ref().expect("fixture checkpoints always carry calibration");
+    let engine = ScEngine::compile(&model, config, &calib.patches, calib.batch)?;
     Ok((engine, train, test))
+}
+
+/// [`train_or_load`] as an in-memory [`ModelCheckpoint`] with the recipe's
+/// calibration batch attached — the shape
+/// [`crate::SessionBuilder::checkpoint`] consumes.
+pub fn checkpoint_or_load(recipe: &FixtureRecipe) -> (ModelCheckpoint, Dataset, Dataset) {
+    let (_, ckpt, train, test) = train_or_load_full(recipe);
+    (ckpt, train, test)
+}
+
+/// [`train_or_load`] driven all the way to a ready [`crate::Session`]: the
+/// one-call fixture for tests and benches that exercise the stack through
+/// the public facade rather than a concrete engine.
+///
+/// # Errors
+///
+/// Propagates backend compilation errors from
+/// [`crate::SessionBuilder::build`].
+pub fn session_or_load(
+    recipe: &FixtureRecipe,
+    config: EngineConfig,
+    kind: crate::BackendKind,
+) -> Result<(crate::Session, Dataset, Dataset), ScError> {
+    let (ckpt, train, test) = checkpoint_or_load(recipe);
+    let session = crate::Session::builder()
+        .checkpoint(ckpt)
+        .engine_config(config)
+        .backend(kind)
+        .build()?;
+    Ok((session, train, test))
 }
 
 #[cfg(test)]

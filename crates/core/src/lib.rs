@@ -8,6 +8,14 @@
 //!   progressive quantization FP → W16-A16-R16 → W16-A2-R16 → W2-A2-R16
 //!   with per-step knowledge distillation, then approximate-softmax-aware
 //!   fine-tuning. Regenerates the rows of Table V.
+//! * [`backend`] — the **execution contract**: the [`InferenceBackend`]
+//!   trait every consumer codes against, with the SC-exact engine, the
+//!   fake-quantized float reference ([`backend::RefEngine`]), and the
+//!   composable fault-injection decorator
+//!   ([`backend::FaultInjectingBackend`]) as its implementations.
+//! * [`session`] — the **[`Session`] facade**: one builder for the whole
+//!   load → infer → serve flow, with the backend chosen at runtime
+//!   ([`BackendKind`]).
 //! * [`engine`] — the **end-to-end SC inference engine**: runs the trained
 //!   low-precision ViT with thermometer-coded arithmetic — gate-assisted SI
 //!   GELU blocks, the iterative approximate softmax block, and BN affines
@@ -38,19 +46,36 @@
 //! let report = pipeline.run();
 //! println!("{}", report.table());
 //! ```
+//!
+//! For inference/serving, start from [`Session`] instead:
+//!
+//! ```no_run
+//! use ascend::{BackendKind, Session};
+//! # fn demo() -> Result<(), sc_core::ScError> {
+//! let session = Session::builder()
+//!     .artifact("model.ckpt")
+//!     .backend(BackendKind::Sc)
+//!     .workers(0) // auto
+//!     .build()?;
+//! # Ok(()) }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod accelerator;
 pub mod artifact;
+pub mod backend;
 pub mod engine;
 pub mod fixture;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
+pub mod session;
 
 pub use accelerator::{AcceleratorConfig, AcceleratorModel};
+pub use backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
 pub use engine::{EngineConfig, ForwardScratch, ScEngine};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
 pub use serve::{BatchRunner, ServeConfig, ServeReport, ServeRequest};
+pub use session::{BackendKind, Session, SessionBuilder};

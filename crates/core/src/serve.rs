@@ -1,18 +1,23 @@
-//! Parallel batched SC inference: the serving runtime over a compiled
-//! engine.
+//! Parallel batched inference: the serving runtime over any
+//! [`InferenceBackend`].
 //!
 //! ASCEND's accelerator is a throughput design — Table VI instantiates `k`
 //! softmax blocks *in parallel* precisely so attention rows can be served
 //! concurrently. This module gives the software model the same shape: a
 //! [`BatchRunner`] shards a queue of patch-tensor requests across a
-//! [`std::thread::scope`] worker pool. The compiled [`ScEngine`] is
-//! immutable after [`ScEngine::compile`], so workers share it by `&` — no
-//! cloning, no locking on the hot path.
+//! [`std::thread::scope`] worker pool. A backend is immutable once
+//! compiled (`Sync` is a supertrait of [`InferenceBackend`]), so workers
+//! share it by `&` — no cloning, no locking on the hot path.
+//!
+//! The runner is generic over `B: InferenceBackend`: the SC-exact engine,
+//! the float reference, and any decorator stack
+//! ([`crate::backend::FaultInjectingBackend`]) serve through the very same
+//! pool.
 //!
 //! Determinism is a hard contract, not a best effort: every worker runs the
-//! same per-image [`ScEngine::forward_one`] loop the serial path runs, and
-//! results are reassembled in request order, so parallel output is
-//! **bit-for-bit identical** to serial output for any worker count or
+//! same per-image [`InferenceBackend::forward_one`] loop the serial path
+//! runs, and results are reassembled in request order, so parallel output
+//! is **bit-for-bit identical** to serial output for any worker count or
 //! micro-batch size (`tests/serve_determinism.rs` proves it).
 //!
 //! ```no_run
@@ -30,7 +35,7 @@ use std::time::{Duration, Instant};
 use ascend_tensor::Tensor;
 use sc_core::ScError;
 
-use crate::engine::ScEngine;
+use crate::backend::InferenceBackend;
 
 /// Runtime knobs of the [`BatchRunner`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,11 +149,14 @@ impl ServeReport {
         }
     }
 
-    /// Nearest-rank latency percentile, `p` in `[0, 100]`.
+    /// Nearest-rank latency percentile.
     ///
-    /// Returns [`Duration::ZERO`] for an empty run.
+    /// Total on every input: an empty run returns [`Duration::ZERO`],
+    /// `p <= 0` returns the minimum latency, `p >= 100` the maximum, and a
+    /// NaN `p` returns [`Duration::ZERO`] (there is no meaningful rank to
+    /// ask for). Never panics.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() {
+        if self.latencies.is_empty() || p.is_nan() {
             return Duration::ZERO;
         }
         let mut sorted = self.latencies.clone();
@@ -174,26 +182,29 @@ impl ServeReport {
     }
 }
 
-/// The parallel batched inference runtime over a shared compiled engine.
-pub struct BatchRunner<'e> {
-    engine: &'e ScEngine,
+/// The parallel batched inference runtime over a shared backend.
+///
+/// Generic over `B: InferenceBackend` (including unsized trait objects, so
+/// [`crate::Session`] can hand out a `BatchRunner<dyn InferenceBackend>`).
+pub struct BatchRunner<'e, B: InferenceBackend + ?Sized = crate::engine::ScEngine> {
+    backend: &'e B,
     cfg: ServeConfig,
 }
 
-impl<'e> BatchRunner<'e> {
-    /// Creates a runner over a compiled engine.
+impl<'e, B: InferenceBackend + ?Sized> BatchRunner<'e, B> {
+    /// Creates a runner over a compiled backend.
     ///
     /// # Errors
     ///
     /// Returns [`ScError::InvalidParam`] if `micro_batch` is zero.
-    pub fn new(engine: &'e ScEngine, cfg: ServeConfig) -> Result<Self, ScError> {
+    pub fn new(backend: &'e B, cfg: ServeConfig) -> Result<Self, ScError> {
         if cfg.micro_batch == 0 {
             return Err(ScError::InvalidParam {
                 name: "micro_batch",
                 reason: "micro-batch size must be at least 1".into(),
             });
         }
-        Ok(BatchRunner { engine, cfg })
+        Ok(BatchRunner { backend, cfg })
     }
 
     /// The runner's configuration.
@@ -201,9 +212,9 @@ impl<'e> BatchRunner<'e> {
         &self.cfg
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &ScEngine {
-        self.engine
+    /// The shared backend.
+    pub fn backend(&self) -> &B {
+        self.backend
     }
 
     /// Serves a queue of requests, returning per-request logits in request
@@ -217,10 +228,10 @@ impl<'e> BatchRunner<'e> {
     /// # Errors
     ///
     /// Returns [`ScError::InvalidParam`] if a request's patch tensor does
-    /// not hold exactly `images` images, and propagates engine errors (the
+    /// not hold exactly `images` images, and propagates backend errors (the
     /// first in request order, deterministically).
     pub fn run(&self, requests: &[ServeRequest]) -> Result<ServeOutcome, ScError> {
-        let cfg = self.engine.vit_config();
+        let cfg = self.backend.vit_config();
         let (p, pd) = (cfg.num_patches(), cfg.patch_dim());
         for req in requests {
             if req.patches.data().len() != req.images * p * pd {
@@ -249,7 +260,7 @@ impl<'e> BatchRunner<'e> {
                 workers,
                 1,
                 wave,
-                || self.engine.scratch(),
+                || self.backend.make_scratch(),
                 |scratch, _, req| {
                     let t0 = Instant::now();
                     let result = self.serve_request(req, scratch);
@@ -278,7 +289,7 @@ impl<'e> BatchRunner<'e> {
         patches: &Tensor,
         images: usize,
     ) -> Result<(Tensor, ServeReport), ScError> {
-        let cfg = self.engine.vit_config();
+        let cfg = self.backend.vit_config();
         let (p, pd, classes) = (cfg.num_patches(), cfg.patch_dim(), cfg.classes);
         if patches.data().len() != images * p * pd {
             return Err(ScError::InvalidParam {
@@ -313,13 +324,13 @@ impl<'e> BatchRunner<'e> {
     }
 
     /// Serves one request on the calling worker thread — the exact same
-    /// [`ScEngine::forward_with`] loop the serial path runs.
+    /// [`InferenceBackend::forward_with`] loop the serial path runs.
     fn serve_request(
         &self,
         req: &ServeRequest,
         scratch: &mut crate::engine::ForwardScratch,
     ) -> Result<Tensor, ScError> {
-        self.engine.forward_with(&req.patches, req.images, scratch)
+        self.backend.forward_with(&req.patches, req.images, scratch)
     }
 }
 
@@ -331,6 +342,11 @@ impl<'e> BatchRunner<'e> {
 /// claim chunks dynamically off a shared atomic cursor; results come back
 /// in input order regardless of which worker computed what. With
 /// `workers <= 1` it degenerates to a plain serial map.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` — a zero chunk size is a caller bug (it would
+/// make no progress), not a degraded mode.
 pub fn parallel_map<T, R, F>(workers: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -346,6 +362,10 @@ where
 /// threaded through every `f(&mut state, index, item)` call that worker
 /// makes — the hook the serving runtime uses to reuse one scratch
 /// allocation per worker instead of one per item.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` (see [`parallel_map`]).
 pub fn parallel_map_with<T, S, R, I, F>(
     workers: usize,
     chunk: usize,
@@ -359,7 +379,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
-    let chunk = chunk.max(1);
+    assert!(chunk > 0, "parallel_map chunk size must be at least 1");
     let n_chunks = items.len().div_ceil(chunk);
     let workers = workers.max(1).min(n_chunks.max(1));
     if workers == 1 {
@@ -436,6 +456,48 @@ mod tests {
     fn parallel_map_handles_empty_input() {
         let got: Vec<usize> = parallel_map(8, 16, &[], |_, x: &usize| *x);
         assert!(got.is_empty());
+        // Empty input with per-worker state: init must not be required.
+        let got: Vec<usize> = parallel_map_with(4, 2, &[], || 7usize, |s, _, x: &usize| *s + *x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_more_workers_than_items() {
+        // 16 workers over 3 items: the pool must cap itself and still
+        // produce every item exactly once, in order.
+        let items = vec![5usize, 6, 7];
+        let got = parallel_map(16, 1, &items, |i, x| (i, *x));
+        assert_eq!(got, vec![(0, 5), (1, 6), (2, 7)]);
+        let got = parallel_map_with(64, 2, &items, || (), |(), i, x| (i, *x));
+        assert_eq!(got, vec![(0, 5), (1, 6), (2, 7)]);
+    }
+
+    #[test]
+    fn parallel_map_is_exhaustive_for_every_worker_chunk_shape() {
+        // Property sweep: every (workers, chunk, len) shape visits each
+        // index exactly once and preserves order.
+        for len in [0usize, 1, 2, 9, 33] {
+            let items: Vec<usize> = (0..len).collect();
+            let want: Vec<usize> = items.iter().map(|x| x + 1).collect();
+            for workers in [1usize, 2, 5, 9] {
+                for chunk in [1usize, 2, 3, 8, 100] {
+                    let got = parallel_map(workers, chunk, &items, |_, x| x + 1);
+                    assert_eq!(got, want, "len={len} workers={workers} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be at least 1")]
+    fn parallel_map_rejects_zero_chunk() {
+        let _ = parallel_map(2, 0, &[1usize, 2], |_, x| *x);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be at least 1")]
+    fn parallel_map_with_rejects_zero_chunk() {
+        let _ = parallel_map_with(2, 0, &[1usize, 2], || (), |(), _, x| *x);
     }
 
     #[test]
@@ -491,7 +553,28 @@ mod tests {
             images: 0,
             workers: 1,
         };
-        assert_eq!(report.latency_percentile(50.0), Duration::ZERO);
+        for p in [f64::NEG_INFINITY, -1.0, 0.0, 50.0, 100.0, 1e9, f64::NAN] {
+            assert_eq!(report.latency_percentile(p), Duration::ZERO, "p={p}");
+        }
         assert_eq!(report.throughput(), 0.0);
+        assert!(report.summary().contains("0 images"));
+    }
+
+    #[test]
+    fn percentile_is_total_on_out_of_range_and_non_finite_p() {
+        let report = ServeReport {
+            latencies: (1..=4).map(Duration::from_millis).collect(),
+            wall: Duration::from_millis(10),
+            images: 4,
+            workers: 2,
+        };
+        // p ≤ 0 → minimum, p ≥ 100 → maximum, NaN → defined zero.
+        assert_eq!(report.latency_percentile(-5.0), Duration::from_millis(1));
+        assert_eq!(report.latency_percentile(f64::NEG_INFINITY), Duration::from_millis(1));
+        assert_eq!(report.latency_percentile(0.0), Duration::from_millis(1));
+        assert_eq!(report.latency_percentile(100.0), Duration::from_millis(4));
+        assert_eq!(report.latency_percentile(250.0), Duration::from_millis(4));
+        assert_eq!(report.latency_percentile(f64::INFINITY), Duration::from_millis(4));
+        assert_eq!(report.latency_percentile(f64::NAN), Duration::ZERO);
     }
 }

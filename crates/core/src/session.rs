@@ -1,0 +1,413 @@
+//! The [`Session`] facade: the one documented entry point for the whole
+//! load → infer → serve flow.
+//!
+//! A session owns a backend chosen at runtime ([`BackendKind`]) behind the
+//! [`InferenceBackend`] trait object, plus the serving configuration, so a
+//! consumer writes the same five lines regardless of which point of the
+//! accuracy/efficiency curve it wants to run:
+//!
+//! ```no_run
+//! use ascend::{BackendKind, Session};
+//! # fn demo(patches: &ascend_tensor::Tensor) -> Result<(), sc_core::ScError> {
+//! let session = Session::builder()
+//!     .artifact("model.ckpt")       // checkpoint or compiled engine artifact
+//!     .backend(BackendKind::Sc)     // or BackendKind::Ref for the float oracle
+//!     .workers(0)                   // 0 = auto
+//!     .build()?;
+//! let (logits, report) = session.serve_batch(patches, 64)?;
+//! println!("{} served: {}", session.backend().name(), report.summary());
+//! # Ok(()) }
+//! ```
+//!
+//! The builder accepts either artifact kind: a **model checkpoint** can
+//! compile any backend (the SC engine calibrates from the checkpoint's
+//! stored calibration batch; the float reference needs no calibration),
+//! while a **compiled engine artifact** loads the SC backend directly and
+//! is rejected for the reference backend, which needs the model itself.
+
+use std::path::{Path, PathBuf};
+
+use ascend_io::format::{Artifact, ArtifactKind};
+use ascend_io::ModelCheckpoint;
+use ascend_tensor::Tensor;
+use sc_core::ScError;
+
+use crate::backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
+use crate::engine::{EngineConfig, ScEngine};
+use crate::serve::{BatchRunner, ServeConfig, ServeReport};
+
+/// Which implementation of [`InferenceBackend`] a [`Session`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The exact bit-level stochastic-computing engine ([`ScEngine`]).
+    #[default]
+    Sc,
+    /// The fake-quantized float reference ([`RefEngine`]).
+    Ref,
+}
+
+impl BackendKind {
+    /// The CLI-facing name (`"sc"` / `"ref"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Sc => "sc",
+            BackendKind::Ref => "ref",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = ScError;
+
+    fn from_str(s: &str) -> Result<Self, ScError> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(BackendKind::Sc),
+            "ref" => Ok(BackendKind::Ref),
+            other => Err(ScError::InvalidParam {
+                name: "backend",
+                reason: format!("unknown backend `{other}` (expected sc|ref)"),
+            }),
+        }
+    }
+}
+
+/// Where the builder gets its network state from.
+enum Source {
+    /// An artifact file — sniffed at build time: checkpoint or engine.
+    Path(PathBuf),
+    /// An in-memory model checkpoint (tests and embedding use).
+    Checkpoint(Box<ModelCheckpoint>),
+    /// An already-compiled SC engine (adopt it as-is).
+    Engine(Box<ScEngine>),
+}
+
+/// Builder for [`Session`]; see the [module docs](self) for the flow.
+pub struct SessionBuilder {
+    source: Option<Source>,
+    kind: BackendKind,
+    engine_config: EngineConfig,
+    serve: ServeConfig,
+    fault: Option<(f64, u64)>,
+}
+
+impl SessionBuilder {
+    fn new() -> Self {
+        SessionBuilder {
+            source: None,
+            kind: BackendKind::Sc,
+            engine_config: EngineConfig::default(),
+            serve: ServeConfig::auto(),
+            fault: None,
+        }
+    }
+
+    /// Loads network state from an artifact file — either a model
+    /// checkpoint (`ascend-cli train` output) or a compiled engine
+    /// artifact (`ascend-cli compile` output); the kind is sniffed from
+    /// the container header at [`SessionBuilder::build`] time.
+    pub fn artifact(mut self, path: impl AsRef<Path>) -> Self {
+        self.source = Some(Source::Path(path.as_ref().to_path_buf()));
+        self
+    }
+
+    /// Uses an in-memory model checkpoint instead of a file.
+    pub fn checkpoint(mut self, ckpt: ModelCheckpoint) -> Self {
+        self.source = Some(Source::Checkpoint(Box::new(ckpt)));
+        self
+    }
+
+    /// Adopts an already-compiled SC engine. An adopted engine can only
+    /// serve [`BackendKind::Sc`] (the default): selecting any other kind —
+    /// in either call order — makes [`SessionBuilder::build`] fail rather
+    /// than silently serving SC.
+    pub fn engine(mut self, engine: ScEngine) -> Self {
+        self.source = Some(Source::Engine(Box::new(engine)));
+        self
+    }
+
+    /// Selects the backend to execute (default: [`BackendKind::Sc`]).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Engine compilation knobs for the SC backend (softmax quadruple
+    /// etc.); ignored when loading a pre-compiled engine artifact.
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.engine_config = cfg;
+        self
+    }
+
+    /// Serving worker-thread count; `0` means auto (machine parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.serve.workers = workers;
+        self
+    }
+
+    /// Images per serving work unit (see [`ServeConfig::micro_batch`]).
+    pub fn micro_batch(mut self, micro_batch: usize) -> Self {
+        self.serve.micro_batch = micro_batch;
+        self
+    }
+
+    /// Bounded admission-queue depth; `0` means unbounded (see
+    /// [`ServeConfig::queue_depth`]).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.serve.queue_depth = queue_depth;
+        self
+    }
+
+    /// Wraps the chosen backend in a [`FaultInjectingBackend`] flipping
+    /// input bits with probability `rate` under `seed`. A rate of `0.0`
+    /// still wraps (and is proven bit-identical to the bare backend in
+    /// `tests/backend_parity.rs`).
+    pub fn fault(mut self, rate: f64, seed: u64) -> Self {
+        self.fault = Some((rate, seed));
+        self
+    }
+
+    /// Resolves the source, compiles/loads the backend, and assembles the
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::InvalidParam`] if no source was given, the serving config
+    /// is malformed, the fault rate is out of range, compilation rejects
+    /// the model, or the requested backend cannot be built from the given
+    /// source (the reference backend needs a checkpoint, not a compiled
+    /// engine artifact); [`ScError::Io`] / [`ScError::CorruptArtifact`]
+    /// for unreadable or corrupt artifact files.
+    pub fn build(self) -> Result<Session, ScError> {
+        let source = self.source.ok_or_else(|| ScError::InvalidParam {
+            name: "source",
+            reason: "Session::builder() needs .artifact(path), .checkpoint(..), or .engine(..)"
+                .into(),
+        })?;
+        // Validate the serving shape and fault parameters up front — a bad
+        // knob must fail before the expensive load/compile, not after.
+        if self.serve.micro_batch == 0 {
+            return Err(ScError::InvalidParam {
+                name: "micro_batch",
+                reason: "micro-batch size must be at least 1".into(),
+            });
+        }
+        if let Some((rate, _)) = self.fault {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ScError::InvalidParam {
+                    name: "rate",
+                    reason: format!("bit-flip rate {rate} must be in [0, 1]"),
+                });
+            }
+        }
+
+        let kind = self.kind;
+        // The artifact itself is valid — only the backend request cannot be
+        // satisfied from it — so this is a parameter error, not corruption.
+        let need_ckpt = || ScError::InvalidParam {
+            name: "backend",
+            reason: format!(
+                "the `{kind}` backend compiles from a model checkpoint; \
+                 this artifact is a pre-compiled SC engine — pass the checkpoint instead"
+            ),
+        };
+        let backend: Box<dyn InferenceBackend> = match source {
+            Source::Engine(engine) => {
+                if kind != BackendKind::Sc {
+                    return Err(ScError::InvalidParam {
+                        name: "backend",
+                        reason: format!(
+                            "an adopted pre-compiled engine can only serve the `sc` backend, \
+                             but `{kind}` was requested"
+                        ),
+                    });
+                }
+                Box::new(*engine)
+            }
+            Source::Checkpoint(ckpt) => Self::compile(kind, &ckpt, self.engine_config)?,
+            Source::Path(path) => {
+                let art = Artifact::read_from(&path)?;
+                match art.kind() {
+                    ArtifactKind::Engine => match kind {
+                        BackendKind::Sc => Box::new(ScEngine::from_artifact(&art)?),
+                        BackendKind::Ref => return Err(need_ckpt()),
+                    },
+                    ArtifactKind::ModelCheckpoint => {
+                        let ckpt = ModelCheckpoint::from_artifact(&art)?;
+                        Self::compile(kind, &ckpt, self.engine_config)?
+                    }
+                }
+            }
+        };
+        let backend: Box<dyn InferenceBackend> = match self.fault {
+            None => backend,
+            Some((rate, seed)) => Box::new(FaultInjectingBackend::new(backend, rate, seed)?),
+        };
+        Ok(Session { backend, serve: self.serve })
+    }
+
+    fn compile(
+        kind: BackendKind,
+        ckpt: &ModelCheckpoint,
+        cfg: EngineConfig,
+    ) -> Result<Box<dyn InferenceBackend>, ScError> {
+        Ok(match kind {
+            BackendKind::Sc => Box::new(ScEngine::compile_from_checkpoint(ckpt, cfg)?),
+            BackendKind::Ref => Box::new(RefEngine::compile_from_checkpoint(ckpt)?),
+        })
+    }
+}
+
+/// A ready-to-serve inference session: one backend plus its serving
+/// configuration. See the [module docs](self) for the flow.
+pub struct Session {
+    backend: Box<dyn InferenceBackend>,
+    serve: ServeConfig,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The session's backend, as the trait object every consumer codes
+    /// against.
+    pub fn backend(&self) -> &dyn InferenceBackend {
+        &*self.backend
+    }
+
+    /// The serving configuration the session was built with.
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.serve
+    }
+
+    /// A parallel [`BatchRunner`] over the session's backend.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::InvalidParam`] for a malformed serving configuration
+    /// (also rejected earlier, at [`SessionBuilder::build`]).
+    pub fn runner(&self) -> Result<BatchRunner<'_, dyn InferenceBackend + '_>, ScError> {
+        BatchRunner::new(self.backend(), self.serve)
+    }
+
+    /// Serial batched inference on the session's backend; see
+    /// [`InferenceBackend::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceBackend::forward`].
+    pub fn forward(&self, patches: &Tensor, batch: usize) -> Result<Tensor, ScError> {
+        self.backend().forward(patches, batch)
+    }
+
+    /// Top-1 accuracy on the session's backend; see
+    /// [`InferenceBackend::accuracy`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceBackend::accuracy`].
+    pub fn accuracy(
+        &self,
+        data: &ascend_vit::data::Dataset,
+        batch: usize,
+    ) -> Result<f32, ScError> {
+        self.backend().accuracy(data, batch)
+    }
+
+    /// Serves one large batch through the parallel runtime, returning
+    /// `[images, classes]` logits in input order plus the serving report;
+    /// see [`BatchRunner::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchRunner::run_batch`].
+    pub fn serve_batch(
+        &self,
+        patches: &Tensor,
+        images: usize,
+    ) -> Result<(Tensor, ServeReport), ScError> {
+        self.runner()?.run_batch(patches, images)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        assert_eq!(BackendKind::from_str("sc").unwrap(), BackendKind::Sc);
+        assert_eq!(BackendKind::from_str("REF").unwrap(), BackendKind::Ref);
+        assert!(BackendKind::from_str("fpga").is_err());
+        assert_eq!(BackendKind::Sc.to_string(), "sc");
+        assert_eq!(BackendKind::Ref.to_string(), "ref");
+        assert_eq!(BackendKind::default(), BackendKind::Sc);
+    }
+
+    #[test]
+    fn builder_without_a_source_is_rejected() {
+        let err = Session::builder().build().map(|_| ()).unwrap_err();
+        assert!(matches!(err, ScError::InvalidParam { name: "source", .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_micro_batch_up_front() {
+        let err = Session::builder()
+            .artifact("/nonexistent.ckpt")
+            .micro_batch(0)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ScError::InvalidParam { name: "micro_batch", .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn invalid_fault_rate_fails_before_the_artifact_is_touched() {
+        // The path does not exist, so an Io error would mean the builder
+        // loaded first; InvalidParam proves the rate check runs up front.
+        let err = Session::builder()
+            .artifact("/nonexistent/no-such.ckpt")
+            .fault(-1.0, 7)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ScError::InvalidParam { name: "rate", .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn adopted_engine_rejects_non_sc_backend() {
+        // Shares the cached "artifact-unit" fixture of the artifact tests.
+        let mut recipe = crate::fixture::FixtureRecipe::tiny("artifact-unit", 13);
+        recipe.n_train = 32;
+        recipe.n_test = 16;
+        recipe.pre_epochs = 1;
+        recipe.qat_epochs = 0;
+        let (engine, _, _) =
+            crate::fixture::engine_or_load(&recipe, EngineConfig::default()).expect("engine");
+        let err = Session::builder()
+            .engine(engine)
+            .backend(BackendKind::Ref)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ScError::InvalidParam { name: "backend", .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn missing_artifact_file_is_an_io_error() {
+        let err = Session::builder()
+            .artifact("/nonexistent/no-such.ckpt")
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ScError::Io { .. }), "got {err:?}");
+    }
+}

@@ -19,6 +19,44 @@
 //! The compiled-engine artifact builds on [`format`] too, but lives in the
 //! `ascend` crate (`ScEngine::save`/`ScEngine::load`) because it snapshots
 //! engine internals.
+//!
+//! ## `ASCNDART` container layout
+//!
+//! Every artifact file is one container: a fixed header, a CRC-protected
+//! section table, then the section payloads. All integers little-endian.
+//!
+//! | offset | bytes | field |
+//! |-------:|------:|-------|
+//! | 0      | 8     | magic `ASCNDART` |
+//! | 8      | 4     | format version (`u32`) |
+//! | 12     | 4     | artifact kind (`u32`: 1 = model checkpoint, 2 = engine) |
+//! | 16     | 4     | section count `n` (`u32`) |
+//! | 20     | 4     | header CRC32 (over version, kind, count, and the table) |
+//! | 24     | 24·n  | section table: per section a 4-byte tag, `u32` payload CRC32, `u64` offset, `u64` length |
+//! | 24+24·n| —     | section payloads, contiguous, in table order |
+//!
+//! Section tags by kind — **model checkpoint** (`ascend-cli train`):
+//!
+//! | tag    | payload |
+//! |--------|---------|
+//! | `CFG ` | [`ascend_vit::VitConfig`] + [`ascend_vit::PrecisionPlan`] |
+//! | `PRM ` | every trainable tensor, in bind order (incl. LSQ steps) |
+//! | `NRM ` | BatchNorm running statistics per norm site |
+//! | `CLB ` | optional calibration batch (patches + batch size) |
+//!
+//! **engine** (`ascend-cli compile`; codecs live in `ascend::artifact`):
+//!
+//! | tag    | payload |
+//! |--------|---------|
+//! | `ECFG` | ViT config, precision plan, engine config |
+//! | `SMAX` | calibrated iterative-softmax configuration |
+//! | `LAYR` | per layer: affines, GELU table, quantized linears, steps |
+//! | `HEAD` | head affine, patch embed, classifier, cls token, pos embedding |
+//!
+//! Readers reject unknown magic/version/kind, any out-of-bounds section,
+//! and any CRC mismatch with a typed [`sc_core::ScError::CorruptArtifact`]
+//! — `crates/io/tests/corruption.rs` proves every truncation and bit flip
+//! is caught.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release -p ascend-examples --bin serve_demo`
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
 use ascend_examples::section;
@@ -29,6 +30,20 @@ fn main() {
         artifact.display(),
         std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0)
     );
+
+    section("session facade over the same artifact");
+    // The one documented entry point: the builder sniffs the artifact kind
+    // and assembles backend + serving pool in one go.
+    let session = ascend::Session::builder()
+        .artifact(&artifact)
+        .backend(ascend::BackendKind::Sc)
+        .workers(2)
+        .micro_batch(4)
+        .build()
+        .expect("session builds");
+    let demo = test.patches(&(0..8).collect::<Vec<_>>(), 4);
+    let (_, report) = session.serve_batch(&demo, 8).expect("session serves");
+    println!("`{}` backend: {}", session.backend().name(), report.summary());
     std::fs::remove_file(&artifact).ok();
 
     section("serial baseline");

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release -p ascend-examples --bin vit_sc_inference`
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::pipeline::{Pipeline, PipelineConfig};
 use ascend_examples::section;
 use ascend_vit::train::evaluate;

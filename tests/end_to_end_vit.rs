@@ -1,6 +1,7 @@
 //! Integration: trained quantized ViT → SC engine, end to end.
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::fixture::{train_or_load, FixtureRecipe};
 use ascend_vit::train::evaluate;
 use ascend_vit::{SoftmaxKind, VitConfig, VitModel};

@@ -21,9 +21,9 @@
 //! math to excuse.
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::fixture::{train_or_load, FixtureRecipe};
 use ascend_io::ModelCheckpoint;
-use ascend_tensor::Tensor;
 use ascend_vit::data::Dataset;
 use ascend_vit::VitModel;
 use std::path::PathBuf;
@@ -71,12 +71,8 @@ fn scratch_path(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-fn assert_bit_identical(a: &Tensor, b: &Tensor, context: &str) {
-    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
-    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
-        assert_eq!(x.to_bits(), y.to_bits(), "{context}: logit {i} differs: {x} vs {y}");
-    }
-}
+mod support;
+use support::assert_bit_identical;
 
 #[test]
 fn fixed_seed_pipeline_matches_golden_snapshot() {

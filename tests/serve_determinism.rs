@@ -7,34 +7,31 @@
 //! parallelism is purely a scheduling concern and never a numerics one.
 
 use ascend::engine::{EngineConfig, ScEngine};
+use ascend::InferenceBackend;
 use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
 use ascend_tensor::Tensor;
 use ascend_vit::data::Dataset;
 
-fn tiny_engine() -> (ScEngine, Dataset) {
-    // Checkpoint-cached fixture: 2 FP epochs, calibrate, no QAT epochs —
-    // determinism tests only need *a* compiled engine, trained once.
+/// The one definition of this file's fixture: 2 FP epochs, calibrate, no
+/// QAT — determinism tests only need *a* compiled engine, trained once.
+fn tiny_recipe() -> FixtureRecipe {
     let mut recipe = FixtureRecipe::tiny("serve-tiny", 5);
     recipe.n_train = 48;
     recipe.n_test = 24;
     recipe.pre_epochs = 2;
     recipe.qat_epochs = 0;
+    recipe
+}
+
+fn tiny_engine() -> (ScEngine, Dataset) {
     let (engine, _train, test) =
-        engine_or_load(&recipe, EngineConfig::default()).expect("tiny engine compiles");
+        engine_or_load(&tiny_recipe(), EngineConfig::default()).expect("tiny engine compiles");
     (engine, test)
 }
 
-fn assert_bit_identical(a: &Tensor, b: &Tensor, context: &str) {
-    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
-    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "{context}: logit {i} differs: {x} vs {y}"
-        );
-    }
-}
+mod support;
+use support::assert_bit_identical;
 
 #[test]
 fn batch_runner_is_bit_identical_across_worker_counts() {
@@ -109,6 +106,50 @@ fn forward_one_composes_to_batched_forward() {
     }
     let stacked = Tensor::from_vec(rows, &[5, cfg.classes]);
     assert_bit_identical(&stacked, &batched, "forward_one composition");
+}
+
+#[test]
+fn session_facade_preserves_the_bit_identity_contract() {
+    // The same parallel == serial proof, driven end to end through the
+    // public `Session` facade on the SC backend: build from the fixture
+    // checkpoint, serve through `Session::serve_batch`, compare against
+    // `Session::forward`.
+    let recipe = tiny_recipe();
+    for workers in [1usize, 2, 4] {
+        let (ckpt, _, test) = ascend::fixture::checkpoint_or_load(&recipe);
+        let session = ascend::Session::builder()
+            .checkpoint(ckpt)
+            .backend(ascend::BackendKind::Sc)
+            .workers(workers)
+            .micro_batch(4)
+            .build()
+            .expect("session builds");
+        assert_eq!(session.backend().name(), "sc-exact");
+        let n = 13usize;
+        let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
+        let serial = session.forward(&patches, n).expect("serial forward");
+        let (parallel, report) = session.serve_batch(&patches, n).expect("parallel serve");
+        assert_bit_identical(&parallel, &serial, &format!("session workers={workers}"));
+        assert_eq!(report.images(), n);
+        assert_eq!(report.requests(), n.div_ceil(4));
+    }
+}
+
+#[test]
+fn session_compiles_the_same_engine_as_the_direct_path() {
+    // Facade neutrality: a session built from the fixture checkpoint must
+    // produce logits bit-identical to the directly compiled engine.
+    let (engine, test) = tiny_engine();
+    let (session, _, _) = ascend::fixture::session_or_load(
+        &tiny_recipe(),
+        EngineConfig::default(),
+        ascend::BackendKind::Sc,
+    )
+    .expect("session builds");
+    let patches = test.patches(&(0..5).collect::<Vec<_>>(), 4);
+    let direct = engine.forward(&patches, 5).expect("direct forward");
+    let via_session = session.forward(&patches, 5).expect("session forward");
+    assert_bit_identical(&via_session, &direct, "session vs direct engine");
 }
 
 #[test]
