@@ -48,10 +48,11 @@ SUBCOMMANDS:
              --backend sc|ref (sc; ref needs a checkpoint artifact)
              [--model PATH for float comparison]  [--fault-rate 0.0]
              [--fault-seed 7]  --test-n 48  --data-seed 7  --batch 16
-    serve    Run the parallel serving runtime on a saved artifact
+    serve    Run the persistent serving pool on a saved artifact
              --engine PATH (required; engine artifact, or checkpoint)
              --backend sc|ref (sc)  --requests 8  --images 4
              --workers 0 (auto)  --micro-batch 4  --queue-depth 2
+             --rounds 1 (repeated rounds reuse one worker pool)
              --data-seed 7
     info     Describe any artifact file
              --path PATH (required)
@@ -71,31 +72,25 @@ fn run(args: &[String]) -> i32 {
         print!("{USAGE}");
         return 0;
     }
-    let flags = match Flags::parse(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return 2;
-        }
-    };
-    let result = match cmd.as_str() {
+    let result = Flags::parse(&args[1..]).and_then(|flags| match cmd.as_str() {
         "train" => cmd_train(flags),
         "compile" => cmd_compile(flags),
         "eval" => cmd_eval(flags),
         "serve" => cmd_serve(flags),
         "info" => cmd_info(flags),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
-    };
+    });
     match result {
         Ok(()) => 0,
-        Err(CliError::Usage(e)) => {
-            eprintln!("error: {e}");
-            eprint!("{USAGE}");
-            2
-        }
         Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             1
+        }
+        // Usage, UnknownFlag, DuplicateFlag: bad invocation, exit 2.
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            2
         }
     }
 }
@@ -108,8 +103,26 @@ fn run(args: &[String]) -> i32 {
 enum CliError {
     /// Bad invocation: print usage, exit 2.
     Usage(String),
+    /// A flag no subcommand parameter consumed — named, never silently
+    /// ignored (`--worker 4` must not run with defaults). Exit 2.
+    UnknownFlag(String),
+    /// The same flag given more than once — ambiguous, rejected by name
+    /// rather than letting one occurrence win. Exit 2.
+    DuplicateFlag(String),
     /// The pipeline itself failed: exit 1.
     Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => f.write_str(msg),
+            CliError::UnknownFlag(name) => {
+                write!(f, "unknown flag --{name} for this subcommand")
+            }
+            CliError::DuplicateFlag(name) => write!(f, "flag --{name} given twice"),
+        }
+    }
 }
 
 impl From<sc_core::ScError> for CliError {
@@ -127,21 +140,21 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, String> {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
-                return Err(format!("expected a --flag, got `{key}`"));
+                return Err(CliError::Usage(format!("expected a --flag, got `{key}`")));
             };
             if name.is_empty() {
-                return Err("empty flag name `--`".into());
+                return Err(CliError::Usage("empty flag name `--`".into()));
             }
             let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing its value"));
+                return Err(CliError::Usage(format!("flag --{name} is missing its value")));
             };
             if pairs.iter().any(|(k, _)| k == name) {
-                return Err(format!("flag --{name} given twice"));
+                return Err(CliError::DuplicateFlag(name.to_string()));
             }
             pairs.push((name.to_string(), value.clone()));
         }
@@ -167,12 +180,12 @@ impl Flags {
         }
     }
 
-    /// Errors on any flag that no `get` call ever looked at.
+    /// Errors on any flag that no `get` call ever looked at, naming it.
     fn reject_unknown(&self) -> Result<(), CliError> {
         let used = self.used.borrow();
         for (k, _) in &self.pairs {
             if !used.iter().any(|u| u == k) {
-                return Err(CliError::Usage(format!("unknown flag --{k} for this subcommand")));
+                return Err(CliError::UnknownFlag(k.clone()));
             }
         }
         Ok(())
@@ -347,10 +360,13 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
     let workers: usize = flags.get_parsed("workers", 0)?;
     let micro_batch: usize = flags.get_parsed("micro-batch", 4)?;
     let queue_depth: usize = flags.get_parsed("queue-depth", 2)?;
+    let rounds: usize = flags.get_parsed("rounds", 1)?;
     let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
     flags.reject_unknown()?;
-    if requests == 0 || images == 0 {
-        return Err(CliError::Usage("--requests and --images must be non-zero".into()));
+    if requests == 0 || images == 0 || rounds == 0 {
+        return Err(CliError::Usage(
+            "--requests, --images, and --rounds must be non-zero".into(),
+        ));
     }
 
     let session = Session::builder()
@@ -368,9 +384,31 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
         let idx: Vec<usize> = (r * images..(r + 1) * images).collect();
         reqs.push(ServeRequest::new(test.patches(&idx, cfg.patch), images));
     }
-    println!("serving on the `{}` backend", session.backend().name());
-    let outcome = session.runner()?.run(&reqs)?;
-    println!("{}", outcome.report.summary());
+    // One persistent pool for every round: the workers spawn here, once.
+    let pool = session.runner()?;
+    println!(
+        "serving on the `{}` backend — persistent pool of {} workers, queue depth {}",
+        session.backend().name(),
+        pool.workers(),
+        if queue_depth == 0 { "unbounded".to_string() } else { queue_depth.to_string() },
+    );
+    let mut outcome = pool.run(&reqs)?;
+    println!("round 1/{rounds}: {}", outcome.report.summary());
+    for round in 2..=rounds {
+        let again = pool.run(&reqs)?;
+        println!("round {round}/{rounds}: {}", again.report.summary());
+        // Pool reuse must be invisible to the numerics: every round's
+        // logits match round 1 bit for bit.
+        let stable = outcome.logits.iter().zip(again.logits.iter()).all(|(a, b)| {
+            a.data().iter().zip(b.data().iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+        if !stable {
+            return Err(CliError::Runtime(format!(
+                "round {round} diverged from round 1 on the reused pool"
+            )));
+        }
+        outcome.report = again.report;
+    }
     println!(
         "request latencies: p50 {:.2} ms | p95 {:.2} ms | max {:.2} ms",
         outcome.report.latency_percentile(50.0).as_secs_f64() * 1e3,
@@ -488,14 +526,38 @@ mod tests {
         assert!(Flags::parse(&["positional".to_string()]).is_err());
         assert!(Flags::parse(&["--dangling".to_string()]).is_err());
         assert!(Flags::parse(&["--".to_string(), "x".to_string()]).is_err());
-        let twice = ["--a", "1", "--a", "2"].map(String::from);
-        assert!(Flags::parse(&twice).is_err());
     }
 
     #[test]
-    fn unknown_flags_are_reported() {
-        let f = flags(&[("typo-flag", "1")]);
-        assert!(matches!(f.reject_unknown(), Err(CliError::Usage(_))));
+    fn duplicated_flags_are_a_typed_error_naming_the_flag() {
+        let twice = ["--workers", "1", "--workers", "2"].map(String::from);
+        match Flags::parse(&twice) {
+            Err(CliError::DuplicateFlag(name)) => assert_eq!(name, "workers"),
+            other => panic!("expected DuplicateFlag(workers), got {other:?}"),
+        }
+        let err = Flags::parse(&twice).unwrap_err();
+        assert!(err.to_string().contains("--workers"), "message must name the flag: {err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_a_typed_error_naming_the_flag() {
+        // `--worker 4` (singular typo) must never run with defaults.
+        let f = flags(&[("worker", "4")]);
+        match f.reject_unknown() {
+            Err(CliError::UnknownFlag(name)) => assert_eq!(name, "worker"),
+            other => panic!("expected UnknownFlag(worker), got {other:?}"),
+        }
+        let err = f.reject_unknown().unwrap_err();
+        assert!(err.to_string().contains("--worker"), "message must name the flag: {err}");
+    }
+
+    #[test]
+    fn unknown_and_duplicated_flags_exit_2_end_to_end() {
+        let typo = ["serve", "--engine", "x.sceng", "--worker", "4"].map(String::from);
+        assert_eq!(run(&typo), 2, "--worker typo must exit 2, not run with defaults");
+        let twice =
+            ["serve", "--engine", "x.sceng", "--workers", "1", "--workers", "2"].map(String::from);
+        assert_eq!(run(&twice), 2, "duplicated --workers must exit 2");
     }
 
     #[test]
@@ -591,6 +653,22 @@ mod tests {
         ]
         .map(String::from);
         assert_eq!(run(&serve), 0, "serve failed");
+
+        // Repeated rounds reuse one persistent pool through a bounded
+        // queue (backpressure path) and must stay bit-stable.
+        let serve_rounds = [
+            "serve", "--engine", &eng, "--requests", "3", "--images", "1", "--workers", "2",
+            "--rounds", "3", "--queue-depth", "1", "--micro-batch", "1",
+        ]
+        .map(String::from);
+        assert_eq!(run(&serve_rounds), 0, "serve --rounds over a bounded queue failed");
+
+        // More workers than requests: the pool must still drain cleanly.
+        let serve_wide = [
+            "serve", "--engine", &eng, "--requests", "2", "--images", "1", "--workers", "6",
+        ]
+        .map(String::from);
+        assert_eq!(run(&serve_wide), 0, "serve with workers > requests failed");
 
         let serve_ref = [
             "serve", "--engine", &ckpt, "--backend", "ref", "--requests", "2", "--images",

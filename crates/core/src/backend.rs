@@ -39,12 +39,14 @@ use crate::engine::{
 /// The execution contract every backend implements.
 ///
 /// A backend is an immutable compiled artifact: all entry points take
-/// `&self`, and `Sync` is a supertrait so the [`crate::serve`] worker pool
-/// can share one backend by reference across threads. Implementors provide
-/// the per-image [`InferenceBackend::forward_one`]; the batched framing
-/// loops are provided methods, so batched and per-image execution are
-/// bit-identical by construction for every backend.
-pub trait InferenceBackend: Sync {
+/// `&self`, and `Send + Sync` are supertraits so the persistent
+/// [`crate::serve::ServePool`] can own one backend (behind an
+/// [`std::sync::Arc`]) and share it across its long-lived worker threads.
+/// Implementors provide the per-image [`InferenceBackend::forward_one`];
+/// the batched framing loops are provided methods, so batched and
+/// per-image execution are bit-identical by construction for every
+/// backend.
+pub trait InferenceBackend: Send + Sync {
     /// Short human-readable backend name (e.g. `"sc-exact"`, `"float-ref"`).
     fn name(&self) -> &str;
 
@@ -74,6 +76,30 @@ pub trait InferenceBackend: Sync {
         patches: &Tensor,
         scratch: &mut ForwardScratch,
     ) -> Result<Vec<f32>, ScError>;
+
+    /// [`InferenceBackend::forward_one`] for an **owned** patch tensor.
+    ///
+    /// The default simply borrows and delegates; decorators that modify
+    /// the input ([`FaultInjectingBackend`]) override it to perturb the
+    /// tensor *in place* instead of cloning. The batched framing loop
+    /// always owns its per-image slice and calls this entry point, so the
+    /// serving hot path never pays a defensive copy even under fault
+    /// injection.
+    ///
+    /// Overrides must stay bit-identical to
+    /// [`InferenceBackend::forward_one`] on the same input — both paths
+    /// feed the same determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceBackend::forward_one`].
+    fn forward_one_owned(
+        &self,
+        patches: Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        self.forward_one(&patches, scratch)
+    }
 
     /// [`InferenceBackend::forward`] with caller-provided scratch — the
     /// batched entry point shared verbatim by the serial path and every
@@ -109,7 +135,7 @@ pub trait InferenceBackend: Sync {
                 patches.data()[bi * p * pd..(bi + 1) * p * pd].to_vec(),
                 &[p, pd],
             );
-            out.extend(self.forward_one(&img, scratch)?);
+            out.extend(self.forward_one_owned(img, scratch)?);
         }
         Ok(Tensor::from_vec(out, &[batch, classes]))
     }
@@ -173,6 +199,13 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for &B {
     ) -> Result<Vec<f32>, ScError> {
         (**self).forward_one(patches, scratch)
     }
+    fn forward_one_owned(
+        &self,
+        patches: Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_owned(patches, scratch)
+    }
 }
 
 impl<B: InferenceBackend + ?Sized> InferenceBackend for Box<B> {
@@ -194,6 +227,13 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for Box<B> {
         scratch: &mut ForwardScratch,
     ) -> Result<Vec<f32>, ScError> {
         (**self).forward_one(patches, scratch)
+    }
+    fn forward_one_owned(
+        &self,
+        patches: Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_owned(patches, scratch)
     }
 }
 
@@ -428,8 +468,15 @@ impl<B: InferenceBackend> FaultInjectingBackend<B> {
         self.rate
     }
 
-    /// Decodes `patches` through the modelled faulty thermometer streams.
-    fn perturb(&self, patches: &Tensor) -> Tensor {
+    /// Decodes `patches` through the modelled faulty thermometer streams,
+    /// **in place** — the fault path mutates the request's owned copy
+    /// instead of allocating a second full patch tensor, so peak memory
+    /// under load stays one tensor per in-flight request.
+    ///
+    /// The RNG stream is seeded from the *pre-fault* bits (hashed in a
+    /// first read-only pass), so in-place mutation draws exactly the same
+    /// fault universe the old copying path drew.
+    fn perturb_in_place(&self, patches: &mut Tensor) {
         let half = (self.bsl / 2) as f64;
         let absmax = patches
             .data()
@@ -446,28 +493,22 @@ impl<B: InferenceBackend> FaultInjectingBackend<B> {
             }
         }
         let mut state = self.seed ^ h;
-        let out: Vec<f32> = patches
-            .data()
-            .iter()
-            .map(|&v| {
-                let level =
-                    ((v as f64 / step).round().clamp(-half, half) + half) as i64;
-                let ones = level;
-                let mut delta = 0i64;
-                for b in 0..self.bsl as i64 {
-                    if uniform(&mut state) < self.rate {
-                        // A flipped 1 lowers the level; a flipped 0 raises it.
-                        delta += if b < ones { -1 } else { 1 };
-                    }
+        for v in patches.data_mut() {
+            let level = ((*v as f64 / step).round().clamp(-half, half) + half) as i64;
+            let ones = level;
+            let mut delta = 0i64;
+            for b in 0..self.bsl as i64 {
+                if uniform(&mut state) < self.rate {
+                    // A flipped 1 lowers the level; a flipped 0 raises it.
+                    delta += if b < ones { -1 } else { 1 };
                 }
-                // The encodable levels are [0, 2·(bsl/2)] — for odd `bsl`
-                // that is bsl − 1, so clamping to `bsl` itself could decode
-                // outside the modelled codec range.
-                let faulted = (level + delta).clamp(0, 2 * (self.bsl / 2) as i64);
-                ((faulted as f64 - half) * step) as f32
-            })
-            .collect();
-        Tensor::from_vec(out, patches.shape())
+            }
+            // The encodable levels are [0, 2·(bsl/2)] — for odd `bsl`
+            // that is bsl − 1, so clamping to `bsl` itself could decode
+            // outside the modelled codec range.
+            let faulted = (level + delta).clamp(0, 2 * (self.bsl / 2) as i64);
+            *v = ((faulted as f64 - half) * step) as f32;
+        }
     }
 }
 
@@ -497,7 +538,24 @@ impl<B: InferenceBackend> InferenceBackend for FaultInjectingBackend<B> {
             // Bit-identity contract: rate 0 never touches the input.
             return self.inner.forward_one(patches, scratch);
         }
-        self.inner.forward_one(&self.perturb(patches), scratch)
+        // The borrowed entry point has to copy once; the owned one below
+        // (which the batched framing loop uses) perturbs with zero copies.
+        let mut owned = patches.clone();
+        self.perturb_in_place(&mut owned);
+        self.inner.forward_one_owned(owned, scratch)
+    }
+
+    fn forward_one_owned(
+        &self,
+        mut patches: Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        if self.rate == 0.0 {
+            // Bit-identity contract: rate 0 never touches the input.
+            return self.inner.forward_one_owned(patches, scratch);
+        }
+        self.perturb_in_place(&mut patches);
+        self.inner.forward_one_owned(patches, scratch)
     }
 }
 
@@ -598,8 +656,10 @@ mod tests {
         let wrapper = FaultInjectingBackend::new(&engine, 0.05, 42).unwrap();
         let (train, _) = ascend_vit::data::synth_cifar(2, 4, 2, 8, 3);
         let patches = train.patches(&[0], 4);
-        let a = wrapper.perturb(&patches);
-        let b = wrapper.perturb(&patches);
+        let mut a = patches.clone();
+        wrapper.perturb_in_place(&mut a);
+        let mut b = patches.clone();
+        wrapper.perturb_in_place(&mut b);
         for (x, y) in a.data().iter().zip(b.data().iter()) {
             assert_eq!(x.to_bits(), y.to_bits(), "same image ⇒ same faults");
         }
@@ -615,7 +675,8 @@ mod tests {
         }
         // A different seed draws a different fault universe.
         let other = FaultInjectingBackend::new(&engine, 0.05, 43).unwrap();
-        let c = other.perturb(&patches);
+        let mut c = patches.clone();
+        other.perturb_in_place(&mut c);
         assert!(
             a.data().iter().zip(c.data().iter()).any(|(x, y)| x != y),
             "seeds 42 and 43 produced identical faults"
@@ -631,9 +692,28 @@ mod tests {
         let (train, _) = ascend_vit::data::synth_cifar(2, 4, 2, 8, 3);
         let patches = train.patches(&[0], 4);
         let absmax = patches.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
-        let p = wrapper.perturb(&patches);
+        let mut p = patches.clone();
+        wrapper.perturb_in_place(&mut p);
         for v in p.data() {
             assert!(v.abs() <= absmax + 1e-4, "{v} decodes outside ±{absmax}");
+        }
+    }
+
+    #[test]
+    fn owned_and_borrowed_fault_paths_are_bit_identical() {
+        // The in-place owned path (what the serving framing loop uses) and
+        // the borrowed clone-then-perturb path must draw the same fault
+        // universe and produce the same logits.
+        let engine = RefEngine::compile(&batchnorm_model()).unwrap();
+        let wrapper = FaultInjectingBackend::new(&engine, 0.1, 21).unwrap();
+        let (train, _) = ascend_vit::data::synth_cifar(2, 4, 2, 8, 3);
+        let patches = train.patches(&[0], 4);
+        let mut s1 = wrapper.make_scratch();
+        let mut s2 = wrapper.make_scratch();
+        let borrowed = wrapper.forward_one(&patches, &mut s1).expect("borrowed path");
+        let owned = wrapper.forward_one_owned(patches.clone(), &mut s2).expect("owned path");
+        for (a, b) in borrowed.iter().zip(owned.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "owned/borrowed fault paths diverged");
         }
     }
 }

@@ -192,9 +192,11 @@ pub struct ForwardScratch {
 }
 
 impl ForwardScratch {
-    /// A scratch with no pre-sized buffers — for backends that need none
-    /// (buffers grow on first use if a backend does touch them).
-    pub(crate) fn empty() -> Self {
+    /// A scratch with no pre-sized buffers — for backends that need none,
+    /// including [`InferenceBackend`](crate::backend::InferenceBackend)
+    /// implementations outside this crate (buffers grow on first use if a
+    /// backend does touch them).
+    pub fn empty() -> Self {
         ForwardScratch { softmax_row: Vec::new() }
     }
 }

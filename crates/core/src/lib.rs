@@ -77,5 +77,7 @@ pub use accelerator::{AcceleratorConfig, AcceleratorModel};
 pub use backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
 pub use engine::{EngineConfig, ForwardScratch, ScEngine};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
-pub use serve::{BatchRunner, ServeConfig, ServeReport, ServeRequest};
+pub use serve::{
+    BatchRunner, ServeConfig, ServeHandle, ServeOutcome, ServePool, ServeReport, ServeRequest,
+};
 pub use session::{BackendKind, Session, SessionBuilder};

@@ -4,32 +4,53 @@
 //! ASCEND's accelerator is a throughput design — Table VI instantiates `k`
 //! softmax blocks *in parallel* precisely so attention rows can be served
 //! concurrently. This module gives the software model the same shape: a
-//! [`BatchRunner`] shards a queue of patch-tensor requests across a
-//! [`std::thread::scope`] worker pool. A backend is immutable once
-//! compiled (`Sync` is a supertrait of [`InferenceBackend`]), so workers
-//! share it by `&` — no cloning, no locking on the hot path.
+//! persistent [`ServePool`] of long-lived worker threads fed by a bounded
+//! channel-based work queue. A backend is immutable once compiled (`Sync`
+//! is a supertrait of [`InferenceBackend`]), so workers share it through
+//! one [`Arc`] — no cloning, no locking on the hot path.
 //!
-//! The runner is generic over `B: InferenceBackend`: the SC-exact engine,
+//! The pool is generic over `B: InferenceBackend`: the SC-exact engine,
 //! the float reference, and any decorator stack
 //! ([`crate::backend::FaultInjectingBackend`]) serve through the very same
-//! pool.
+//! workers.
 //!
-//! Determinism is a hard contract, not a best effort: every worker runs the
-//! same per-image [`InferenceBackend::forward_one`] loop the serial path
-//! runs, and results are reassembled in request order, so parallel output
-//! is **bit-for-bit identical** to serial output for any worker count or
-//! micro-batch size (`tests/serve_determinism.rs` proves it).
+//! Three properties are hard contracts, not best efforts:
+//!
+//! * **Determinism** — every worker runs the same per-image
+//!   [`InferenceBackend::forward_one`] loop the serial path runs, each
+//!   request is served by exactly one worker, and results are reassembled
+//!   in submission order, so parallel output is **bit-for-bit identical**
+//!   to serial output for any worker count, micro-batch size, or pool age
+//!   (`tests/serve_determinism.rs` proves it, including across repeated
+//!   `run` calls on one pool).
+//! * **Backpressure** — with a non-zero [`ServeConfig::queue_depth`] the
+//!   work queue is a bounded channel: once `queue_depth` requests are
+//!   waiting, [`ServePool::submit`] *blocks* the submitter. Requests are
+//!   never dropped and never reordered; admission simply waits for the
+//!   pool to drain.
+//! * **No head-of-line blocking** — there are no inter-request barriers:
+//!   workers pull the next request the moment they finish the previous
+//!   one, so one slow request occupies one worker while the rest of the
+//!   pool keeps serving unrelated work.
 //!
 //! ```no_run
-//! use ascend::serve::{BatchRunner, ServeConfig};
-//! # fn demo(engine: &ascend::ScEngine, patches: &ascend_tensor::Tensor) {
-//! let runner = BatchRunner::new(engine, ServeConfig::auto()).unwrap();
-//! let (logits, report) = runner.run_batch(patches, 64).unwrap();
-//! println!("{}", report.summary());
+//! use ascend::serve::{ServeConfig, ServePool};
+//! use std::sync::Arc;
+//! # fn demo(engine: ascend::ScEngine, patches: &ascend_tensor::Tensor) {
+//! let pool = ServePool::new(Arc::new(engine), ServeConfig::auto()).unwrap();
+//! for _ in 0..3 {
+//!     // Every round reuses the same long-lived workers.
+//!     let (_logits, report) = pool.run_batch(patches, 64).unwrap();
+//!     println!("{}", report.summary());
+//! }
+//! pool.shutdown(); // graceful: close the queue, join the workers
 //! # }
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ascend_tensor::Tensor;
@@ -37,19 +58,24 @@ use sc_core::ScError;
 
 use crate::backend::InferenceBackend;
 
-/// Runtime knobs of the [`BatchRunner`].
+/// Runtime knobs of the [`ServePool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker-thread count; `0` resolves to the machine's
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`]. The pool spawns exactly
+    /// this many long-lived threads at construction and
+    /// [`ServeReport::workers`] reports the same number.
     pub workers: usize,
-    /// Images per work unit when [`BatchRunner::run_batch`] carves a large
+    /// Images per work unit when [`ServePool::run_batch`] carves a large
     /// batch into requests. Smaller micro-batches balance load better;
-    /// larger ones amortize per-request bookkeeping.
+    /// larger ones amortize per-request bookkeeping. Must be at least 1.
     pub micro_batch: usize,
-    /// Maximum requests admitted in flight at once; `0` means unbounded.
-    /// [`BatchRunner::run`] processes the queue in waves of this depth,
-    /// modelling a bounded admission queue in front of the accelerator.
+    /// Capacity of the pool's work queue, in requests. `0` means
+    /// **unbounded**: [`ServePool::submit`] never blocks. Any other value
+    /// bounds admission: once `queue_depth` requests are waiting beyond
+    /// the ones workers already hold, `submit` blocks the caller until a
+    /// worker frees a slot — true backpressure that never drops or
+    /// reorders a request.
     pub queue_depth: usize,
 }
 
@@ -93,7 +119,7 @@ impl ServeRequest {
     }
 }
 
-/// Results of one [`BatchRunner::run`]: per-request logits plus metrics.
+/// Results of one [`ServePool::run`]: per-request logits plus metrics.
 #[derive(Debug)]
 pub struct ServeOutcome {
     /// Logits per request, in request order; row `i` of entry `r` is the
@@ -123,7 +149,8 @@ impl ServeReport {
         self.images
     }
 
-    /// Worker threads used.
+    /// Worker threads of the pool that served the run — the actual number
+    /// of long-lived threads, not a bound recomputed from the queue shape.
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -140,12 +167,19 @@ impl ServeReport {
     }
 
     /// Aggregate throughput in images per second.
+    ///
+    /// An empty run (zero images) reports `0.0`. A wall clock too short to
+    /// measure (sub-resolution, reads as zero) reports [`f64::INFINITY`]
+    /// explicitly rather than a misleading `0.0 images/s`.
     pub fn throughput(&self) -> f64 {
+        if self.images == 0 {
+            return 0.0;
+        }
         let secs = self.wall.as_secs_f64();
         if secs > 0.0 {
             self.images as f64 / secs
         } else {
-            0.0
+            f64::INFINITY
         }
     }
 
@@ -165,7 +199,8 @@ impl ServeReport {
         sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. An unmeasurably short wall prints
+    /// `inf images/s` (see [`ServeReport::throughput`]), never `0.0`.
     pub fn summary(&self) -> String {
         format!(
             "{} images / {} requests on {} workers in {:.1} ms — {:.1} images/s \
@@ -182,53 +217,227 @@ impl ServeReport {
     }
 }
 
-/// The parallel batched inference runtime over a shared backend.
-///
-/// Generic over `B: InferenceBackend` (including unsized trait objects, so
-/// [`crate::Session`] can hand out a `BatchRunner<dyn InferenceBackend>`).
-pub struct BatchRunner<'e, B: InferenceBackend + ?Sized = crate::engine::ScEngine> {
-    backend: &'e B,
-    cfg: ServeConfig,
+/// The historical name of the serving entry point. Since the persistent
+/// pool landed, `run`/`run_batch` live on [`ServePool`] and every call
+/// reuses the pool's long-lived workers; the alias keeps the original
+/// batch-oriented name working.
+pub type BatchRunner<B = crate::engine::ScEngine> = ServePool<B>;
+
+/// One queued unit of work: an owned request plus its reply channel.
+struct Job {
+    patches: Tensor,
+    images: usize,
+    reply: SyncSender<Served>,
 }
 
-impl<'e, B: InferenceBackend + ?Sized> BatchRunner<'e, B> {
-    /// Creates a runner over a compiled backend.
+/// What a worker sends back for one job.
+struct Served {
+    result: Result<Tensor, ScError>,
+    latency: Duration,
+}
+
+/// The pool's submission side: bounded (backpressure) or unbounded.
+enum WorkQueue {
+    Unbounded(Sender<Job>),
+    Bounded(SyncSender<Job>),
+}
+
+impl WorkQueue {
+    /// Enqueues a job; a bounded queue blocks until a slot frees up.
+    fn send(&self, job: Job) -> Result<(), ScError> {
+        let sent = match self {
+            WorkQueue::Unbounded(tx) => tx.send(job).is_ok(),
+            WorkQueue::Bounded(tx) => tx.send(job).is_ok(),
+        };
+        if sent {
+            Ok(())
+        } else {
+            Err(pool_gone())
+        }
+    }
+}
+
+/// The error surfaced when the worker side of the pool has vanished
+/// (a worker panicked, or every worker exited) — never silent.
+fn pool_gone() -> ScError {
+    ScError::InvalidParam {
+        name: "pool",
+        reason: "serve pool has no live workers (worker thread panicked or pool shut down)"
+            .into(),
+    }
+}
+
+/// A pending request submitted to a [`ServePool`]: redeem it with
+/// [`ServeHandle::collect`] to block for the logits.
+///
+/// Dropping a handle without collecting abandons the result (the worker's
+/// reply is discarded); the request itself still runs to completion.
+pub struct ServeHandle {
+    rx: Receiver<Served>,
+    images: usize,
+}
+
+impl ServeHandle {
+    /// Number of images in the submitted request.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Blocks until the request has been served, returning its logits and
+    /// the service latency (time a worker spent on it, excluding queue
+    /// wait).
     ///
     /// # Errors
     ///
-    /// Returns [`ScError::InvalidParam`] if `micro_batch` is zero.
-    pub fn new(backend: &'e B, cfg: ServeConfig) -> Result<Self, ScError> {
+    /// Propagates the backend's execution error for this request, or a
+    /// [`ScError::InvalidParam`] if the serving worker disappeared
+    /// (panicked) before replying.
+    pub fn collect(self) -> Result<(Tensor, Duration), ScError> {
+        match self.rx.recv() {
+            Ok(served) => served.result.map(|t| (t, served.latency)),
+            Err(_) => Err(pool_gone()),
+        }
+    }
+}
+
+/// A persistent pool of long-lived inference workers over a shared
+/// backend.
+///
+/// Construction spawns the worker threads once; every
+/// [`ServePool::submit`], [`ServePool::run`], and [`ServePool::run_batch`]
+/// afterwards reuses them (each worker holds one
+/// [`crate::engine::ForwardScratch`] for its whole lifetime). Work flows
+/// through an mpsc channel — bounded by [`ServeConfig::queue_depth`] for
+/// real backpressure — and each request is claimed by exactly one worker
+/// the moment it is free, so there are no admission waves and no
+/// inter-request barriers. The pool is `Sync`: submitters on any thread
+/// share it by reference.
+///
+/// Shutdown is graceful via [`ServePool::shutdown`] or `Drop`: the queue
+/// closes, workers finish what they hold and exit, and the threads are
+/// joined.
+///
+/// Generic over `B: InferenceBackend` (including unsized trait objects, so
+/// [`crate::Session`] holds a `ServePool<dyn InferenceBackend>`).
+pub struct ServePool<B: InferenceBackend + ?Sized + 'static = crate::engine::ScEngine> {
+    backend: Arc<B>,
+    cfg: ServeConfig,
+    /// `Some` for the pool's whole life; taken (dropped) on shutdown to
+    /// close the channel and release the workers.
+    queue: Option<WorkQueue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
+    /// Spawns the pool: `cfg.resolved_workers()` threads, each parked on
+    /// the work queue with its own reusable scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if `micro_batch` is zero, and
+    /// [`ScError::Io`] if the OS refuses to spawn a worker thread.
+    pub fn new(backend: Arc<B>, cfg: ServeConfig) -> Result<Self, ScError> {
         if cfg.micro_batch == 0 {
             return Err(ScError::InvalidParam {
                 name: "micro_batch",
                 reason: "micro-batch size must be at least 1".into(),
             });
         }
-        Ok(BatchRunner { backend, cfg })
+        let (queue, rx): (WorkQueue, Receiver<Job>) = if cfg.queue_depth == 0 {
+            let (tx, rx) = mpsc::channel();
+            (WorkQueue::Unbounded(tx), rx)
+        } else {
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
+            (WorkQueue::Bounded(tx), rx)
+        };
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.resolved_workers())
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let backend = Arc::clone(&backend);
+                std::thread::Builder::new()
+                    .name(format!("ascend-serve-{i}"))
+                    .spawn(move || worker_loop(&*backend, &rx))
+                    .map_err(|e| ScError::Io {
+                        path: format!("thread ascend-serve-{i}"),
+                        reason: e.to_string(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServePool { backend, cfg, queue: Some(queue), workers })
     }
 
-    /// The runner's configuration.
+    /// The pool's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
     }
 
     /// The shared backend.
     pub fn backend(&self) -> &B {
-        self.backend
+        &self.backend
+    }
+
+    /// Number of live worker threads the pool was spawned with.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one owned request to the pool, returning a [`ServeHandle`]
+    /// to collect its logits later — the streaming half of the API.
+    ///
+    /// With a bounded queue ([`ServeConfig::queue_depth`] `> 0`) this call
+    /// **blocks** while the queue is full; it never drops the request and
+    /// never reorders it past requests submitted earlier from the same
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParam`] if the request's patch tensor
+    /// does not hold exactly `images` images, or if the pool has no live
+    /// workers left.
+    pub fn submit(&self, request: ServeRequest) -> Result<ServeHandle, ScError> {
+        let cfg = self.backend.vit_config();
+        let (p, pd) = (cfg.num_patches(), cfg.patch_dim());
+        if request.patches.data().len() != request.images * p * pd {
+            return Err(ScError::InvalidParam {
+                name: "request",
+                reason: format!(
+                    "request holds {} values, expected {} for {} images of [{p}, {pd}] patches",
+                    request.patches.data().len(),
+                    request.images * p * pd,
+                    request.images
+                ),
+            });
+        }
+        // Capacity 1 and exactly one message: the worker's reply never
+        // blocks, so a slow collector cannot stall the pool.
+        let (reply, rx) = mpsc::sync_channel(1);
+        let images = request.images;
+        self.queue
+            .as_ref()
+            .expect("work queue lives as long as the pool")
+            .send(Job { patches: request.patches, images, reply })?;
+        Ok(ServeHandle { rx, images })
     }
 
     /// Serves a queue of requests, returning per-request logits in request
     /// order plus a [`ServeReport`].
     ///
-    /// Requests are admitted in waves of [`ServeConfig::queue_depth`] and
-    /// claimed dynamically by the worker pool within each wave; each worker
-    /// reuses one [`crate::engine::ForwardScratch`] across all the requests
-    /// it serves.
+    /// Implemented as submit-all / collect-in-order over the persistent
+    /// workers: requests stream into the pool (blocking on a full bounded
+    /// queue) and each worker pulls its next request the moment it
+    /// finishes the previous one — a slow request never stalls unrelated
+    /// work on other workers.
+    ///
+    /// The borrowed requests are cloned into the queue; streaming callers
+    /// that already own their requests should use [`ServePool::submit`]
+    /// directly and pay no copy.
     ///
     /// # Errors
     ///
     /// Returns [`ScError::InvalidParam`] if a request's patch tensor does
-    /// not hold exactly `images` images, and propagates backend errors (the
+    /// not hold exactly `images` images (checked for the whole slice
+    /// before anything is enqueued), and propagates backend errors (the
     /// first in request order, deterministically).
     pub fn run(&self, requests: &[ServeRequest]) -> Result<ServeOutcome, ScError> {
         let cfg = self.backend.vit_config();
@@ -246,44 +455,23 @@ impl<'e, B: InferenceBackend + ?Sized> BatchRunner<'e, B> {
                 });
             }
         }
-
-        let depth = if self.cfg.queue_depth == 0 { requests.len().max(1) } else { self.cfg.queue_depth };
-        // Threads that can actually run concurrently: the pool size, capped
-        // by the widest wave — so the report never claims more parallelism
-        // than the queue shape allows.
-        let workers = self.cfg.resolved_workers().min(depth.min(requests.len()).max(1));
         let start = Instant::now();
-        let mut logits = Vec::with_capacity(requests.len());
-        let mut latencies = Vec::with_capacity(requests.len());
-        for wave in requests.chunks(depth) {
-            let served = parallel_map_with(
-                workers,
-                1,
-                wave,
-                || self.backend.make_scratch(),
-                |scratch, _, req| {
-                    let t0 = Instant::now();
-                    let result = self.serve_request(req, scratch);
-                    (result, t0.elapsed())
-                },
-            );
-            for (result, latency) in served {
-                logits.push(result?);
-                latencies.push(latency);
-            }
-        }
         let images = requests.iter().map(|r| r.images).sum();
-        let report = ServeReport { latencies, wall: start.elapsed(), images, workers };
+        let handles: Vec<ServeHandle> =
+            requests.iter().map(|r| self.submit(r.clone())).collect::<Result<_, _>>()?;
+        let (logits, latencies) = self.collect_all(handles)?;
+        let report =
+            ServeReport { latencies, wall: start.elapsed(), images, workers: self.workers.len() };
         Ok(ServeOutcome { logits, report })
     }
 
-    /// Serves one large batch: carves it into micro-batch requests, runs
-    /// them through the pool, and reassembles the `[images, classes]`
-    /// logits in input order.
+    /// Serves one large batch: carves it into micro-batch requests,
+    /// streams them through the pool, and reassembles the
+    /// `[images, classes]` logits in input order.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`BatchRunner::run`].
+    /// Same conditions as [`ServePool::run`].
     pub fn run_batch(
         &self,
         patches: &Tensor,
@@ -302,41 +490,100 @@ impl<'e, B: InferenceBackend + ?Sized> BatchRunner<'e, B> {
             });
         }
         let mb = self.cfg.micro_batch;
-        let requests: Vec<ServeRequest> = (0..images)
+        let start = Instant::now();
+        // Each micro-batch tensor is built owned and moved straight into
+        // the queue — no intermediate request vector, no clone.
+        let handles: Vec<ServeHandle> = (0..images)
             .step_by(mb)
             .map(|lo| {
                 let hi = (lo + mb).min(images);
-                ServeRequest::new(
+                self.submit(ServeRequest::new(
                     Tensor::from_vec(
                         patches.data()[lo * p * pd..hi * p * pd].to_vec(),
                         &[(hi - lo) * p, pd],
                     ),
                     hi - lo,
-                )
+                ))
             })
-            .collect();
-        let outcome = self.run(&requests)?;
+            .collect::<Result<_, _>>()?;
+        let (logits, latencies) = self.collect_all(handles)?;
         let mut all = Vec::with_capacity(images * classes);
-        for t in &outcome.logits {
+        for t in &logits {
             all.extend_from_slice(t.data());
         }
-        Ok((Tensor::from_vec(all, &[images, classes]), outcome.report))
+        let report =
+            ServeReport { latencies, wall: start.elapsed(), images, workers: self.workers.len() };
+        Ok((Tensor::from_vec(all, &[images, classes]), report))
     }
 
-    /// Serves one request on the calling worker thread — the exact same
-    /// [`InferenceBackend::forward_with`] loop the serial path runs.
-    fn serve_request(
+    /// Collects every handle in submission order, propagating the first
+    /// error in request order (later outstanding replies are abandoned).
+    fn collect_all(
         &self,
-        req: &ServeRequest,
-        scratch: &mut crate::engine::ForwardScratch,
-    ) -> Result<Tensor, ScError> {
-        self.backend.forward_with(&req.patches, req.images, scratch)
+        handles: Vec<ServeHandle>,
+    ) -> Result<(Vec<Tensor>, Vec<Duration>), ScError> {
+        let mut logits = Vec::with_capacity(handles.len());
+        let mut latencies = Vec::with_capacity(handles.len());
+        for handle in handles {
+            let (t, latency) = handle.collect()?;
+            logits.push(t);
+            latencies.push(latency);
+        }
+        Ok((logits, latencies))
+    }
+
+    /// Graceful shutdown: closes the work queue, lets every worker finish
+    /// the request it holds, and joins the threads. Dropping the pool does
+    /// the same; this method just makes the point explicit at call sites.
+    pub fn shutdown(self) {
+        // Drop runs close_and_join.
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.take();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already surfaced as an error on its
+            // handle; re-raising here would abort during unwinding.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<B: InferenceBackend + ?Sized + 'static> Drop for ServePool<B> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// The worker body: pull a job, serve it with the thread's one reusable
+/// scratch, reply, repeat until the queue closes.
+fn worker_loop<B: InferenceBackend + ?Sized>(backend: &B, rx: &Mutex<Receiver<Job>>) {
+    let mut scratch = backend.make_scratch();
+    loop {
+        // Hold the receiver lock only for the blocking pull, never while
+        // serving — the other workers keep draining the queue.
+        let job = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => break, // queue closed: graceful shutdown
+            }
+        };
+        let t0 = Instant::now();
+        let result = backend.forward_with(&job.patches, job.images, &mut scratch);
+        // A dropped handle just means nobody wants this answer.
+        let _ = job.reply.send(Served { result, latency: t0.elapsed() });
     }
 }
 
 /// Order-preserving parallel map over a slice — **the** workspace-wide
 /// parallel-map primitive (the bench binaries use it too, so there is one
-/// chunked-scope pattern, not many).
+/// chunked-scope pattern, not many). For borrowed, run-to-completion
+/// sweeps this scoped form stays the right tool; request serving uses the
+/// persistent [`ServePool`] instead.
 ///
 /// Splits `items` into chunks of `chunk` and lets `workers` scoped threads
 /// claim chunks dynamically off a shared atomic cursor; results come back
@@ -360,8 +607,8 @@ where
 ///
 /// `init` runs once on each worker thread and the resulting state is
 /// threaded through every `f(&mut state, index, item)` call that worker
-/// makes — the hook the serving runtime uses to reuse one scratch
-/// allocation per worker instead of one per item.
+/// makes — the hook sweep binaries use to reuse one expensive allocation
+/// per worker instead of one per item.
 ///
 /// # Panics
 ///
@@ -558,6 +805,22 @@ mod tests {
         }
         assert_eq!(report.throughput(), 0.0);
         assert!(report.summary().contains("0 images"));
+    }
+
+    #[test]
+    fn zero_wall_reports_infinite_throughput_not_zero() {
+        // A sub-resolution wall must never read as "0.0 images/s" — the
+        // report says `inf` explicitly.
+        let report = ServeReport {
+            latencies: vec![Duration::ZERO; 2],
+            wall: Duration::ZERO,
+            images: 8,
+            workers: 2,
+        };
+        assert!(report.throughput().is_infinite());
+        let line = report.summary();
+        assert!(line.contains("inf images/s"), "summary was: {line}");
+        assert!(!line.contains("0.0 images/s"), "summary was: {line}");
     }
 
     #[test]

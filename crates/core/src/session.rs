@@ -26,6 +26,7 @@
 //! is rejected for the reference backend, which needs the model itself.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 use ascend_io::format::{Artifact, ArtifactKind};
 use ascend_io::ModelCheckpoint;
@@ -34,7 +35,7 @@ use sc_core::ScError;
 
 use crate::backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
 use crate::engine::{EngineConfig, ScEngine};
-use crate::serve::{BatchRunner, ServeConfig, ServeReport};
+use crate::serve::{ServeConfig, ServePool, ServeReport};
 
 /// Which implementation of [`InferenceBackend`] a [`Session`] executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -248,7 +249,7 @@ impl SessionBuilder {
             None => backend,
             Some((rate, seed)) => Box::new(FaultInjectingBackend::new(backend, rate, seed)?),
         };
-        Ok(Session { backend, serve: self.serve })
+        Ok(Session { backend: Arc::from(backend), serve: self.serve, pool: OnceLock::new() })
     }
 
     fn compile(
@@ -264,10 +265,15 @@ impl SessionBuilder {
 }
 
 /// A ready-to-serve inference session: one backend plus its serving
-/// configuration. See the [module docs](self) for the flow.
+/// configuration and (created on first serve) its persistent
+/// [`ServePool`]. See the [module docs](self) for the flow.
 pub struct Session {
-    backend: Box<dyn InferenceBackend>,
+    backend: Arc<dyn InferenceBackend>,
     serve: ServeConfig,
+    /// The session's one persistent worker pool, spawned lazily on the
+    /// first serving call and reused by every later one — repeated serve
+    /// rounds never re-spawn threads.
+    pool: OnceLock<ServePool<dyn InferenceBackend>>,
 }
 
 impl Session {
@@ -287,14 +293,25 @@ impl Session {
         &self.serve
     }
 
-    /// A parallel [`BatchRunner`] over the session's backend.
+    /// The session's persistent [`ServePool`], spawned on first use and
+    /// shared by every subsequent serving call ([`Session::serve_batch`]
+    /// included) — the worker threads live for the whole session. Use
+    /// [`ServePool::submit`] on the returned pool for streaming serving;
+    /// dropping the session shuts the pool down gracefully.
     ///
     /// # Errors
     ///
     /// [`ScError::InvalidParam`] for a malformed serving configuration
-    /// (also rejected earlier, at [`SessionBuilder::build`]).
-    pub fn runner(&self) -> Result<BatchRunner<'_, dyn InferenceBackend + '_>, ScError> {
-        BatchRunner::new(self.backend(), self.serve)
+    /// (also rejected earlier, at [`SessionBuilder::build`]), or
+    /// [`ScError::Io`] if the OS refuses to spawn a worker thread.
+    pub fn runner(&self) -> Result<&ServePool<dyn InferenceBackend>, ScError> {
+        if let Some(pool) = self.pool.get() {
+            return Ok(pool);
+        }
+        let pool = ServePool::new(Arc::clone(&self.backend), self.serve)?;
+        // A concurrent first call may have won the race; its pool is kept
+        // and this one shuts down cleanly on drop.
+        Ok(self.pool.get_or_init(|| pool))
     }
 
     /// Serial batched inference on the session's backend; see
@@ -321,13 +338,14 @@ impl Session {
         self.backend().accuracy(data, batch)
     }
 
-    /// Serves one large batch through the parallel runtime, returning
-    /// `[images, classes]` logits in input order plus the serving report;
-    /// see [`BatchRunner::run_batch`].
+    /// Serves one large batch through the session's persistent pool,
+    /// returning `[images, classes]` logits in input order plus the
+    /// serving report; see [`ServePool::run_batch`]. Repeated calls reuse
+    /// the same long-lived workers.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`BatchRunner::run_batch`].
+    /// Same conditions as [`ServePool::run_batch`].
     pub fn serve_batch(
         &self,
         patches: &Tensor,

@@ -1,14 +1,17 @@
-//! Serving-runtime demo: compile an SC engine once, then serve batches
-//! through the parallel `BatchRunner` — and prove the parallel logits are
-//! bit-for-bit identical to the serial engine while throughput scales.
+//! Serving-runtime demo: compile an SC engine once, then serve through a
+//! persistent `ServePool` — long-lived workers, streaming submit/collect,
+//! bounded-queue backpressure, graceful shutdown — and prove the parallel
+//! logits are bit-for-bit identical to the serial engine while the same
+//! pool serves round after round.
 //!
 //! Run with: `cargo run --release -p ascend-examples --bin serve_demo`
 
 use ascend::engine::{EngineConfig, ScEngine};
-use ascend::InferenceBackend;
 use ascend::fixture::{engine_or_load, FixtureRecipe};
-use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
+use ascend::serve::{ServeConfig, ServePool, ServeRequest};
+use ascend::InferenceBackend;
 use ascend_examples::section;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -24,16 +27,17 @@ fn main() {
     compiled.save(&artifact).expect("engine saves");
     // From here on the demo serves from the *loaded* engine — exactly what
     // a serving process does: no model, no dataset, no training code.
-    let engine = ScEngine::load(&artifact).expect("engine loads");
+    let engine = Arc::new(ScEngine::load(&artifact).expect("engine loads"));
     println!(
         "saved + re-loaded {} ({} bytes) — serving from the loaded artifact",
         artifact.display(),
         std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0)
     );
 
-    section("session facade over the same artifact");
+    section("session facade: one persistent pool across rounds");
     // The one documented entry point: the builder sniffs the artifact kind
-    // and assembles backend + serving pool in one go.
+    // and the session owns one persistent pool — repeated serve calls
+    // reuse the same worker threads.
     let session = ascend::Session::builder()
         .artifact(&artifact)
         .backend(ascend::BackendKind::Sc)
@@ -42,8 +46,10 @@ fn main() {
         .build()
         .expect("session builds");
     let demo = test.patches(&(0..8).collect::<Vec<_>>(), 4);
-    let (_, report) = session.serve_batch(&demo, 8).expect("session serves");
-    println!("`{}` backend: {}", session.backend().name(), report.summary());
+    for round in 1..=3 {
+        let (_, report) = session.serve_batch(&demo, 8).expect("session serves");
+        println!("`{}` round {round}: {}", session.backend().name(), report.summary());
+    }
     std::fs::remove_file(&artifact).ok();
 
     section("serial baseline");
@@ -58,43 +64,61 @@ fn main() {
         n as f64 / serial_wall.as_secs_f64()
     );
 
-    section("parallel batch runner (determinism checked per run)");
+    section("persistent pool (reused across rounds, determinism checked)");
     for workers in [1usize, 2, 4] {
-        let runner = BatchRunner::new(
-            &engine,
+        let pool = ServePool::new(
+            Arc::clone(&engine),
             ServeConfig { workers, micro_batch: 4, queue_depth: 0 },
         )
-        .expect("runner builds");
-        let (logits, report) = runner.run_batch(&patches, n).expect("parallel run");
-        let identical = logits
-            .data()
-            .iter()
-            .zip(serial.data().iter())
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-        println!("workers={workers}: {}", report.summary());
-        println!("          bit-identical to serial: {identical}");
-        assert!(identical, "parallel output diverged from serial");
+        .expect("pool builds");
+        // Two rounds on the SAME pool: the long-lived workers (one
+        // reusable scratch each) must be numerically invisible.
+        for round in 1..=2 {
+            let (logits, report) = pool.run_batch(&patches, n).expect("parallel run");
+            let identical = logits
+                .data()
+                .iter()
+                .zip(serial.data().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            println!("workers={workers} round {round}: {}", report.summary());
+            println!("          bit-identical to serial: {identical}");
+            assert!(identical, "parallel output diverged from serial");
+        }
+        pool.shutdown(); // graceful: queue closes, workers join
     }
 
-    section("request queue with auto config and mixed batch sizes");
-    let runner = BatchRunner::new(&engine, ServeConfig::auto()).expect("runner builds");
+    section("streaming submit/collect through a bounded queue");
+    // queue_depth = 2: once two requests are waiting, submit blocks until
+    // a worker frees a slot — backpressure instead of unbounded buffering,
+    // and a slow request only ever occupies its own worker.
+    let pool = ServePool::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 2, micro_batch: 4, queue_depth: 2 },
+    )
+    .expect("pool builds");
     let sizes = [5usize, 1, 9, 3, 14, 2, 8, 6];
-    let mut requests = Vec::new();
+    let mut handles = Vec::new();
     let mut offset = 0usize;
     for &sz in &sizes {
         let idx: Vec<usize> = (offset..offset + sz).collect();
-        requests.push(ServeRequest::new(test.patches(&idx, 4), sz));
+        handles.push(
+            pool.submit(ServeRequest::new(test.patches(&idx, 4), sz)).expect("submit"),
+        );
         offset += sz;
     }
-    let outcome = runner.run(&requests).expect("queue run");
-    println!("{}", outcome.report.summary());
+    let mut images = 0usize;
+    let mut max_latency = std::time::Duration::ZERO;
+    for handle in handles {
+        images += handle.images();
+        let (_logits, latency) = handle.collect().expect("collect");
+        max_latency = max_latency.max(latency);
+    }
     println!(
-        "request latencies: p50 {:.2} ms | p95 {:.2} ms | max {:.2} ms over {} requests",
-        outcome.report.latency_percentile(50.0).as_secs_f64() * 1e3,
-        outcome.report.latency_percentile(95.0).as_secs_f64() * 1e3,
-        outcome.report.latency_percentile(100.0).as_secs_f64() * 1e3,
-        outcome.report.requests()
+        "streamed {images} images over {} ragged requests (max request latency {:.2} ms)",
+        sizes.len(),
+        max_latency.as_secs_f64() * 1e3
     );
+    pool.shutdown();
     println!();
     println!("serve demo OK");
 }

@@ -127,7 +127,7 @@ fn small_fault_rates_degrade_gracefully_and_deterministically() {
 
 #[test]
 fn parallel_serving_is_bit_identical_for_every_backend() {
-    // The serve determinism contract holds per backend: the runner is
+    // The serve determinism contract holds per backend: the pool is
     // generic, so the proof must not silently narrow to the SC engine.
     let (sc, reference, test) = sessions();
     let n = 13usize;
@@ -137,5 +137,32 @@ fn parallel_serving_is_bit_identical_for_every_backend() {
         let (parallel, report) = session.serve_batch(&patches, n).expect("parallel serve");
         assert_bit_identical(&parallel, &serial, &format!("{label} parallel vs serial"));
         assert_eq!(report.images(), n);
+    }
+}
+
+#[test]
+fn fault_injecting_backend_stays_deterministic_on_a_reused_pool() {
+    // The persistent pool must preserve the parallel == serial contract
+    // for the decorator stack too: fault sampling is a function of
+    // (seed, image), never of which long-lived worker serves the request
+    // or how many runs the pool has already served.
+    let recipe = parity_recipe();
+    let (ckpt, _, test) = ascend::fixture::checkpoint_or_load(&recipe);
+    let session = Session::builder()
+        .checkpoint(ckpt)
+        .backend(BackendKind::Sc)
+        .fault(0.02, 7)
+        .workers(2)
+        .micro_batch(4)
+        .build()
+        .expect("fault session builds");
+    let n = 13usize;
+    let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
+    let serial = session.forward(&patches, n).expect("serial faulted forward");
+    for round in 0..3 {
+        // Every round reuses the session's one pool (same worker threads).
+        let (parallel, report) = session.serve_batch(&patches, n).expect("faulted serve");
+        assert_bit_identical(&parallel, &serial, &format!("faulted pool reuse round {round}"));
+        assert_eq!(report.workers(), 2);
     }
 }

@@ -1,17 +1,26 @@
-//! Tier-1 determinism contract of the serving runtime: the parallel
-//! [`BatchRunner`] must produce **bit-for-bit** the same logits as the
-//! serial [`ScEngine::forward`] for the same inputs, across worker counts
-//! and odd batch sizes that do not divide evenly into micro-batches.
+//! Tier-1 determinism contract of the serving runtime: the persistent
+//! [`ServePool`] must produce **bit-for-bit** the same logits as the
+//! serial [`ScEngine::forward`] for the same inputs, across worker counts,
+//! odd batch sizes that do not divide evenly into micro-batches, and —
+//! since the pool is long-lived — across successive runs on one pool.
 //!
 //! This is what makes the runtime safe to drop into accuracy experiments:
 //! parallelism is purely a scheduling concern and never a numerics one.
+//! The same file proves the pool's queueing semantics: a bounded queue
+//! blocks submitters (real backpressure) without ever dropping or
+//! reordering a request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use ascend::engine::{EngineConfig, ScEngine};
-use ascend::InferenceBackend;
 use ascend::fixture::{engine_or_load, FixtureRecipe};
-use ascend::serve::{BatchRunner, ServeConfig, ServeRequest};
+use ascend::serve::{BatchRunner, ServeConfig, ServePool, ServeRequest};
+use ascend::{ForwardScratch, InferenceBackend, RefEngine};
 use ascend_tensor::Tensor;
 use ascend_vit::data::Dataset;
+use ascend_vit::{PrecisionPlan, VitConfig};
+use sc_core::ScError;
 
 /// The one definition of this file's fixture: 2 FP epochs, calibrate, no
 /// QAT — determinism tests only need *a* compiled engine, trained once.
@@ -24,10 +33,10 @@ fn tiny_recipe() -> FixtureRecipe {
     recipe
 }
 
-fn tiny_engine() -> (ScEngine, Dataset) {
+fn tiny_engine() -> (Arc<ScEngine>, Dataset) {
     let (engine, _train, test) =
         engine_or_load(&tiny_recipe(), EngineConfig::default()).expect("tiny engine compiles");
-    (engine, test)
+    (Arc::new(engine), test)
 }
 
 mod support;
@@ -44,7 +53,7 @@ fn batch_runner_is_bit_identical_across_worker_counts() {
         let serial = engine.forward(&patches, n).expect("serial forward");
         for workers in [1usize, 2, 4] {
             let runner = BatchRunner::new(
-                &engine,
+                Arc::clone(&engine),
                 ServeConfig { workers, micro_batch: 4, queue_depth: 0 },
             )
             .expect("runner builds");
@@ -52,9 +61,10 @@ fn batch_runner_is_bit_identical_across_worker_counts() {
             assert_bit_identical(&parallel, &serial, &format!("n={n} workers={workers}"));
             assert_eq!(report.images(), n);
             assert_eq!(report.requests(), n.div_ceil(4));
-            // The report states the parallelism actually available: the
-            // pool size capped by the number of requests.
-            assert_eq!(report.workers(), workers.min(n.div_ceil(4)));
+            // The report states the pool size that actually served the
+            // run: the number of long-lived threads, exactly as asked.
+            assert_eq!(report.workers(), workers);
+            assert_eq!(runner.workers(), workers);
         }
     }
 }
@@ -62,7 +72,7 @@ fn batch_runner_is_bit_identical_across_worker_counts() {
 #[test]
 fn request_queue_matches_per_request_serial_forward() {
     let (engine, test) = tiny_engine();
-    // Heterogeneous request sizes through a bounded admission queue.
+    // Heterogeneous request sizes through a bounded work queue.
     let sizes = [3usize, 1, 5, 2];
     let mut requests = Vec::new();
     let mut offset = 0usize;
@@ -71,12 +81,12 @@ fn request_queue_matches_per_request_serial_forward() {
         requests.push(ServeRequest::new(test.patches(&idx, 4), sz));
         offset += sz;
     }
-    let runner = BatchRunner::new(
-        &engine,
+    let pool = ServePool::new(
+        Arc::clone(&engine),
         ServeConfig { workers: 3, micro_batch: 4, queue_depth: 2 },
     )
-    .expect("runner builds");
-    let outcome = runner.run(&requests).expect("queue run");
+    .expect("pool builds");
+    let outcome = pool.run(&requests).expect("queue run");
     assert_eq!(outcome.logits.len(), sizes.len());
     assert_eq!(outcome.report.requests(), sizes.len());
     assert_eq!(outcome.report.images(), sizes.iter().sum::<usize>());
@@ -85,6 +95,213 @@ fn request_queue_matches_per_request_serial_forward() {
         let want = engine.forward(&req.patches, req.images).expect("serial forward");
         assert_bit_identical(got, &want, &format!("request of {} images", req.images));
     }
+}
+
+#[test]
+fn pool_reuse_is_bit_identical_to_fresh_pools_for_both_backends() {
+    // The acceptance bar of the persistent pool: successive `run_batch`
+    // calls on ONE pool must match both the serial forward and a freshly
+    // spawned pool per call, bit for bit, for the SC and ref backends
+    // alike, across worker counts and a ragged micro-batch split.
+    let recipe = tiny_recipe();
+    let (ckpt, _, test) = ascend::fixture::checkpoint_or_load(&recipe);
+    let sc: Arc<dyn InferenceBackend> = Arc::new(
+        ScEngine::compile_from_checkpoint(&ckpt, EngineConfig::default()).expect("sc compiles"),
+    );
+    let reference: Arc<dyn InferenceBackend> =
+        Arc::new(RefEngine::compile_from_checkpoint(&ckpt).expect("ref compiles"));
+    let n = 13usize; // 3·4 + 1: ragged at micro_batch = 4
+    let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
+    for (backend, label) in [(&sc, "sc"), (&reference, "ref")] {
+        let serial = backend.forward(&patches, n).expect("serial forward");
+        for workers in [1usize, 2, 4] {
+            let cfg = ServeConfig { workers, micro_batch: 4, queue_depth: 0 };
+            let reused = ServePool::new(Arc::clone(backend), cfg).expect("pool builds");
+            for round in 0..3 {
+                let (from_reused, report) =
+                    reused.run_batch(&patches, n).expect("reused-pool run");
+                assert_bit_identical(
+                    &from_reused,
+                    &serial,
+                    &format!("{label} reused pool round {round} workers={workers}"),
+                );
+                assert_eq!(report.workers(), workers);
+                // A spawn-per-call pool must agree with the reused one.
+                let fresh = ServePool::new(Arc::clone(backend), cfg).expect("fresh pool");
+                let (from_fresh, _) = fresh.run_batch(&patches, n).expect("fresh-pool run");
+                assert_bit_identical(
+                    &from_fresh,
+                    &from_reused,
+                    &format!("{label} fresh vs reused round {round} workers={workers}"),
+                );
+                fresh.shutdown();
+            }
+            reused.shutdown();
+        }
+    }
+}
+
+#[test]
+fn streaming_submit_collect_preserves_request_order() {
+    let (engine, test) = tiny_engine();
+    let pool = ServePool::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 2, micro_batch: 4, queue_depth: 3 },
+    )
+    .expect("pool builds");
+    // Submit a stream of single-image requests, collect handles in
+    // submission order, and check each against the serial forward.
+    let sizes = [2usize, 1, 3, 1, 2];
+    let mut offset = 0usize;
+    let mut handles = Vec::new();
+    let mut wants = Vec::new();
+    for &sz in &sizes {
+        let idx: Vec<usize> = (offset..offset + sz).collect();
+        let patches = test.patches(&idx, 4);
+        wants.push(engine.forward(&patches, sz).expect("serial forward"));
+        let handle = pool.submit(ServeRequest::new(patches, sz)).expect("submit");
+        assert_eq!(handle.images(), sz);
+        handles.push(handle);
+        offset += sz;
+    }
+    for ((handle, want), sz) in handles.into_iter().zip(&wants).zip(&sizes) {
+        let (got, _latency) = handle.collect().expect("collect");
+        assert_bit_identical(&got, want, &format!("streamed request of {sz} images"));
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn pool_with_more_workers_than_requests_drains_cleanly() {
+    let (engine, test) = tiny_engine();
+    let pool = ServePool::new(
+        Arc::clone(&engine),
+        ServeConfig { workers: 8, micro_batch: 4, queue_depth: 1 },
+    )
+    .expect("pool builds");
+    let patches = test.patches(&[0, 1], 4);
+    let serial = engine.forward(&patches, 2).expect("serial forward");
+    let outcome = pool
+        .run(&[ServeRequest::new(patches.clone(), 2)])
+        .expect("underfull pool run");
+    assert_bit_identical(&outcome.logits[0], &serial, "workers > requests");
+    assert_eq!(outcome.report.workers(), 8, "report must state the real pool size");
+    // Idle workers must not wedge shutdown.
+    pool.shutdown();
+}
+
+/// A controllable backend for queueing tests: every `forward_one` blocks
+/// until the gate opens, then echoes a deterministic function of its
+/// input, so tests can hold the pool stalled and observe the queue.
+struct GatedBackend {
+    cfg: VitConfig,
+    plan: PrecisionPlan,
+    gate: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl GatedBackend {
+    fn new() -> Self {
+        let cfg = VitConfig {
+            image: 8,
+            patch: 4,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            classes: 2,
+            ..Default::default()
+        };
+        GatedBackend { cfg, plan: PrecisionPlan::fp(), gate: Mutex::new(false), opened: Condvar::new() }
+    }
+
+    fn open(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+}
+
+impl InferenceBackend for GatedBackend {
+    fn name(&self) -> &str {
+        "gated"
+    }
+    fn vit_config(&self) -> &VitConfig {
+        &self.cfg
+    }
+    fn plan(&self) -> &PrecisionPlan {
+        &self.plan
+    }
+    fn make_scratch(&self) -> ForwardScratch {
+        ForwardScratch::empty()
+    }
+    fn forward_one(
+        &self,
+        patches: &Tensor,
+        _scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.opened.wait(open).unwrap();
+        }
+        drop(open);
+        let sum: f32 = patches.data().iter().sum();
+        Ok(vec![sum, -sum])
+    }
+}
+
+#[test]
+fn full_queue_blocks_submitters_without_dropping_or_reordering() {
+    let backend = Arc::new(GatedBackend::new());
+    let (p, pd) = (backend.cfg.num_patches(), backend.cfg.patch_dim());
+    // One worker, queue depth 1: with the gate closed the worker stalls on
+    // request 0, the queue holds one more, and every further submit must
+    // block — that is the backpressure contract.
+    let pool = ServePool::new(
+        Arc::clone(&backend),
+        ServeConfig { workers: 1, micro_batch: 1, queue_depth: 1 },
+    )
+    .expect("pool builds");
+    let total = 6usize;
+    let submitted = AtomicUsize::new(0);
+    let make = |v: f32| ServeRequest::new(Tensor::from_vec(vec![v; p * pd], &[p, pd]), 1);
+
+    std::thread::scope(|scope| {
+        let submitter = scope.spawn(|| {
+            (0..total)
+                .map(|i| {
+                    let handle = pool.submit(make(i as f32)).expect("submit");
+                    submitted.fetch_add(1, Ordering::SeqCst);
+                    handle
+                })
+                .collect::<Vec<_>>()
+        });
+        // Give the submitter real time: while the pool is stalled, at most
+        // the in-flight request plus the one queue slot can be admitted.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let admitted = submitted.load(Ordering::SeqCst);
+        let submitter_done = submitter.is_finished();
+        // Open the gate BEFORE asserting on the captured observations: a
+        // failed assertion must unwind through the scope's implicit join,
+        // and the submitter can only finish once the pool drains —
+        // asserting first would turn a test failure into a deadlock.
+        backend.open();
+        assert!(
+            admitted <= 2,
+            "bounded queue (depth 1) admitted {admitted} submissions while the pool was stalled"
+        );
+        assert!(!submitter_done, "submitter must be blocked, not done");
+
+        // Everything drains, nothing was dropped, and the results come
+        // back in submission order with the right payloads.
+        let handles = submitter.join().expect("submitter thread");
+        assert_eq!(handles.len(), total);
+        for (i, handle) in handles.into_iter().enumerate() {
+            let (logits, _) = handle.collect().expect("collect");
+            let want = i as f32 * (p * pd) as f32;
+            assert_eq!(logits.data()[0], want, "request {i} dropped or reordered");
+            assert_eq!(logits.data()[1], -want, "request {i} corrupted");
+        }
+    });
+    pool.shutdown();
 }
 
 #[test]
@@ -112,7 +329,8 @@ fn forward_one_composes_to_batched_forward() {
 fn session_facade_preserves_the_bit_identity_contract() {
     // The same parallel == serial proof, driven end to end through the
     // public `Session` facade on the SC backend: build from the fixture
-    // checkpoint, serve through `Session::serve_batch`, compare against
+    // checkpoint, serve repeatedly through `Session::serve_batch` (which
+    // reuses the session's one persistent pool), compare against
     // `Session::forward`.
     let recipe = tiny_recipe();
     for workers in [1usize, 2, 4] {
@@ -128,10 +346,17 @@ fn session_facade_preserves_the_bit_identity_contract() {
         let n = 13usize;
         let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
         let serial = session.forward(&patches, n).expect("serial forward");
-        let (parallel, report) = session.serve_batch(&patches, n).expect("parallel serve");
-        assert_bit_identical(&parallel, &serial, &format!("session workers={workers}"));
-        assert_eq!(report.images(), n);
-        assert_eq!(report.requests(), n.div_ceil(4));
+        for round in 0..2 {
+            let (parallel, report) = session.serve_batch(&patches, n).expect("parallel serve");
+            assert_bit_identical(
+                &parallel,
+                &serial,
+                &format!("session workers={workers} round={round}"),
+            );
+            assert_eq!(report.images(), n);
+            assert_eq!(report.requests(), n.div_ceil(4));
+            assert_eq!(report.workers(), workers, "session pool size must be stable");
+        }
     }
 }
 
@@ -156,12 +381,21 @@ fn session_compiles_the_same_engine_as_the_direct_path() {
 fn runner_rejects_malformed_configs_and_requests() {
     let (engine, test) = tiny_engine();
     assert!(
-        BatchRunner::new(&engine, ServeConfig { micro_batch: 0, ..ServeConfig::auto() }).is_err(),
+        ServePool::new(
+            Arc::clone(&engine),
+            ServeConfig { micro_batch: 0, ..ServeConfig::auto() }
+        )
+        .is_err(),
         "micro_batch = 0 must be rejected"
     );
-    let runner = BatchRunner::new(&engine, ServeConfig::auto()).expect("runner builds");
+    let pool = ServePool::new(Arc::clone(&engine), ServeConfig::auto()).expect("pool builds");
     // Claiming 3 images while providing 2 images' worth of patches.
     let two = test.patches(&[0, 1], 4);
-    assert!(runner.run(&[ServeRequest::new(two.clone(), 3)]).is_err());
-    assert!(runner.run_batch(&two, 3).is_err());
+    assert!(pool.run(&[ServeRequest::new(two.clone(), 3)]).is_err());
+    assert!(pool.run_batch(&two, 3).is_err());
+    assert!(pool.submit(ServeRequest::new(two.clone(), 3)).is_err());
+    // A rejected request must not poison the pool for valid ones.
+    let serial = engine.forward(&two, 2).expect("serial forward");
+    let outcome = pool.run(&[ServeRequest::new(two, 2)]).expect("valid run after reject");
+    assert_bit_identical(&outcome.logits[0], &serial, "pool healthy after rejection");
 }
