@@ -16,6 +16,7 @@
 //! offline and dependency-free). Errors print to stderr and exit 2 for
 //! usage problems, 1 for runtime failures.
 
+#![forbid(unsafe_code)]
 use std::path::{Path, PathBuf};
 
 use ascend::engine::{EngineConfig, ScEngine};

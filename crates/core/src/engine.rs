@@ -639,7 +639,7 @@ impl Probe {
             let out = linear(&act, &wq(block.mlp().fc2()), &block.mlp().fc2().b);
             x = fake_quant(&x.add(&out), res2.step_value(), plan.residual);
         }
-        score_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        score_samples.sort_by(f64::total_cmp);
         let idx = ((score_samples.len() as f64) * 0.98) as usize;
         let score_scale = score_samples.get(idx.min(score_samples.len().saturating_sub(1)))
             .copied()

@@ -413,10 +413,11 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         // blocks, so a slow collector cannot stall the pool.
         let (reply, rx) = mpsc::sync_channel(1);
         let images = request.images;
-        self.queue
-            .as_ref()
-            .expect("work queue lives as long as the pool")
-            .send(Job { patches: request.patches, images, reply })?;
+        // The queue is `Some` for the pool's whole life (taken only during
+        // drop); a typed error keeps this hot path panic-free even if that
+        // invariant ever breaks.
+        let queue = self.queue.as_ref().ok_or_else(pool_gone)?;
+        queue.send(Job { patches: request.patches, images, reply })?;
         Ok(ServeHandle { rx, images })
     }
 
@@ -455,6 +456,7 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
                 });
             }
         }
+        // ascend-lint: allow(no-wallclock-in-forward) -- wall/latency metrics feed ServeReport only, never the logits
         let start = Instant::now();
         let images = requests.iter().map(|r| r.images).sum();
         let handles: Vec<ServeHandle> =
@@ -490,6 +492,7 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
             });
         }
         let mb = self.cfg.micro_batch;
+        // ascend-lint: allow(no-wallclock-in-forward) -- wall/latency metrics feed ServeReport only, never the logits
         let start = Instant::now();
         // Each micro-batch tensor is built owned and moved straight into
         // the queue — no intermediate request vector, no clone.
@@ -572,6 +575,7 @@ fn worker_loop<B: InferenceBackend + ?Sized>(backend: &B, rx: &Mutex<Receiver<Jo
                 Err(_) => break, // queue closed: graceful shutdown
             }
         };
+        // ascend-lint: allow(no-wallclock-in-forward) -- per-request service latency for ServeReport; timing never reaches the output tensor
         let t0 = Instant::now();
         let result = backend.forward_with(&job.patches, job.images, &mut scratch);
         // A dropped handle just means nobody wants this answer.
@@ -658,21 +662,24 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("serve worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(mine) => mine,
+                // Re-raise a worker's panic with its original payload
+                // instead of wrapping it in a second panic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
 
     // Reassemble in chunk order: worker scheduling never leaks into output
-    // order, which is what the determinism contract rests on.
-    let mut slots: Vec<Option<Vec<R>>> = std::iter::repeat_with(|| None).take(n_chunks).collect();
-    for mine in parts {
-        for (c, out) in mine {
-            slots[c] = Some(out);
-        }
-    }
-    slots
-        .into_iter()
-        .flat_map(|s| s.expect("every chunk claimed exactly once"))
-        .collect()
+    // order, which is what the determinism contract rests on. Sorting by
+    // the chunk index (each claimed exactly once off the atomic cursor)
+    // restores input order without any partially-filled slot state.
+    let mut chunks: Vec<(usize, Vec<R>)> = parts.into_iter().flatten().collect();
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    chunks.into_iter().flat_map(|(_, out)| out).collect()
 }
 
 #[cfg(test)]

@@ -87,6 +87,7 @@ fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // ascend-lint: allow(no-lossy-cast-in-io) -- the loop guard bounds i below 256, well inside u32
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -106,7 +107,8 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = TABLE.get_or_init(crc_table);
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        // ascend-lint: allow(no-lossy-cast-in-io) -- the index is masked to 8 bits before the cast, so no value can truncate
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -370,7 +372,16 @@ impl ArtifactWriter {
     }
 
     /// Appends a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact already holds `MAX_SECTIONS` (256) sections — a
+    /// larger container could be serialized but never read back.
     pub fn add_section(&mut self, tag: [u8; 4], payload: SectionWriter) {
+        assert!(
+            self.sections.len() < MAX_SECTIONS,
+            "artifact section count would exceed the format cap {MAX_SECTIONS}"
+        );
         self.sections.push((tag, payload.into_bytes()));
     }
 
@@ -384,6 +395,7 @@ impl ArtifactWriter {
         let mut covered = Vec::with_capacity(16 + table_len);
         covered.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         covered.extend_from_slice(&self.kind.code().to_le_bytes());
+        // ascend-lint: allow(no-lossy-cast-in-io) -- add_section caps the count at MAX_SECTIONS (256), far inside u32
         covered.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         covered.extend_from_slice(&0u32.to_le_bytes()); // reserved
         for (tag, payload) in &self.sections {
@@ -394,6 +406,7 @@ impl ArtifactWriter {
             payload_offset += payload.len() as u64;
         }
 
+        // ascend-lint: allow(no-lossy-cast-in-io) -- capacity hint only; a truncated hint costs a realloc, never bytes
         let mut out = Vec::with_capacity(payload_offset as usize);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&covered[..12]);
@@ -465,7 +478,8 @@ impl Artifact {
             )));
         }
         let kind = ArtifactKind::from_code(word(12))?;
-        let count = word(16) as usize;
+        let count = usize::try_from(word(16))
+            .map_err(|_| corrupt(format!("section count {} does not fit usize", word(16))))?;
         if count > MAX_SECTIONS {
             return Err(corrupt(format!("section count {count} exceeds the cap {MAX_SECTIONS}")));
         }

@@ -1,0 +1,189 @@
+//! The ratchet baseline: per-(rule, crate) violation counts that may only
+//! go down.
+//!
+//! The file lives at `crates/lint/baseline.tsv` and is committed. The
+//! `--check` gate fails if any count *grows*; the workspace integration
+//! test (`crates/lint/tests/workspace_gate.rs`) additionally asserts the
+//! committed counts match reality *exactly*, so an improvement must land
+//! together with the tightened baseline — the same one-way mechanism as
+//! the CI test-count floor.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: (rule, crate) → allowed count.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Relative path of the baseline file inside the workspace.
+pub const BASELINE_PATH: &str = "crates/lint/baseline.tsv";
+
+/// Parses the TSV body. Lines are `rule<TAB>crate<TAB>count`; `#` comments
+/// and blank lines are skipped.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse(body: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(rule), Some(krate), Some(count)) = (cols.next(), cols.next(), cols.next()) else {
+            return Err(format!(
+                "baseline line {}: expected rule<TAB>crate<TAB>count",
+                i + 1
+            ));
+        };
+        if cols.next().is_some() {
+            return Err(format!("baseline line {}: too many columns", i + 1));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        if out
+            .insert((rule.to_string(), krate.to_string()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "baseline line {}: duplicate entry {rule}/{krate}",
+                i + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a baseline back to the committed TSV form (sorted, commented).
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# ascend-lint ratchet baseline — violation counts per rule and crate.\n\
+         # Counts may only DECREASE. When you remove a violation, tighten the\n\
+         # matching line (or regenerate: cargo run -p ascend-lint -- --update-baseline).\n\
+         # Adding or growing an entry fails CI and the workspace_gate test.\n",
+    );
+    for ((rule, krate), count) in baseline {
+        if *count > 0 {
+            out.push_str(&format!("{rule}\t{krate}\t{count}\n"));
+        }
+    }
+    out
+}
+
+/// Compares measured ratchet counts against the baseline.
+///
+/// Returns `(errors, improvements)`: `errors` are growths (and unknown
+/// entries) that must fail the gate; `improvements` are counts now below
+/// the baseline, reported so the developer tightens the file (the
+/// workspace test *enforces* the tightening).
+pub fn compare(
+    measured: &BTreeMap<(String, String), usize>,
+    baseline: &Baseline,
+) -> (Vec<String>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut improvements = Vec::new();
+    for ((rule, krate), &got) in measured {
+        let allowed = baseline
+            .get(&(rule.clone(), krate.clone()))
+            .copied()
+            .unwrap_or(0);
+        if got > allowed {
+            errors.push(format!(
+                "{rule} in crate `{krate}`: {got} violations exceed the baseline of {allowed} \
+                 (new violations are not allowed; fix them or waive with a reason)"
+            ));
+        } else if got < allowed {
+            improvements.push(format!(
+                "{rule} in crate `{krate}`: {got} violations, baseline allows {allowed} — \
+                 tighten {BASELINE_PATH}"
+            ));
+        }
+    }
+    for ((rule, krate), &allowed) in baseline {
+        if allowed > 0 && !measured.contains_key(&(rule.clone(), krate.clone())) {
+            improvements.push(format!(
+                "{rule} in crate `{krate}`: 0 violations, baseline allows {allowed} — \
+                 tighten {BASELINE_PATH}"
+            ));
+        }
+    }
+    (errors, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, krate: &str, n: usize) -> ((String, String), usize) {
+        ((rule.to_string(), krate.to_string()), n)
+    }
+
+    #[test]
+    fn parse_render_roundtrip_is_exact() {
+        let b: Baseline = [
+            entry("no-panic-in-lib", "vit", 3),
+            entry("no-panic-in-lib", "cli", 7),
+        ]
+        .into_iter()
+        .collect();
+        let text = render(&b);
+        assert_eq!(parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let b = parse("# header\n\nno-panic-in-lib\tvit\t2\n").unwrap();
+        assert_eq!(
+            b,
+            [entry("no-panic-in-lib", "vit", 2)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        assert!(parse("just-one-column").unwrap_err().contains("line 1"));
+        assert!(parse("a\tb\tnot-a-number")
+            .unwrap_err()
+            .contains("bad count"));
+        assert!(parse("a\tb\t1\td").unwrap_err().contains("too many"));
+        assert!(parse("a\tb\t1\na\tb\t2").unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn growth_is_an_error_shrink_is_an_improvement() {
+        let baseline: Baseline = [entry("no-panic-in-lib", "vit", 3)].into_iter().collect();
+        let grew: BTreeMap<_, _> = [entry("no-panic-in-lib", "vit", 4)].into_iter().collect();
+        let (errors, _) = compare(&grew, &baseline);
+        assert_eq!(errors.len(), 1);
+        let shrank: BTreeMap<_, _> = [entry("no-panic-in-lib", "vit", 2)].into_iter().collect();
+        let (errors, improvements) = compare(&shrank, &baseline);
+        assert!(errors.is_empty());
+        assert_eq!(improvements.len(), 1);
+    }
+
+    #[test]
+    fn unknown_crate_counts_as_growth_from_zero() {
+        let baseline = Baseline::new();
+        let measured: BTreeMap<_, _> = [entry("no-panic-in-lib", "new-crate", 1)]
+            .into_iter()
+            .collect();
+        let (errors, _) = compare(&measured, &baseline);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("baseline of 0"));
+    }
+
+    #[test]
+    fn vanished_crate_is_reported_as_improvement() {
+        let baseline: Baseline = [entry("no-panic-in-lib", "vit", 3)].into_iter().collect();
+        let (errors, improvements) = compare(&BTreeMap::new(), &baseline);
+        assert!(errors.is_empty());
+        assert_eq!(improvements.len(), 1);
+    }
+
+    #[test]
+    fn zero_count_entries_are_not_rendered() {
+        let b: Baseline = [entry("no-panic-in-lib", "vit", 0)].into_iter().collect();
+        assert!(!render(&b).contains("vit"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable renderings of a lint run.
+
+use crate::baseline::{self, Baseline};
+use crate::workspace::Outcome;
+
+/// The `--check` result: pass/fail plus the lines to print.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// Lines describing failures (empty = gate passes).
+    pub errors: Vec<String>,
+    /// Non-fatal notes (ratchet improvements to commit).
+    pub notes: Vec<String>,
+}
+
+impl CheckResult {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Evaluates the gate: deny violations fail, ratchet growth fails,
+/// ratchet shrinkage is a note.
+pub fn check(outcome: &Outcome, baseline: &Baseline) -> CheckResult {
+    let mut errors: Vec<String> = outcome.deny.iter().map(|v| v.render()).collect();
+    let (growth, improvements) = baseline::compare(&outcome.ratchet_counts(), baseline);
+    errors.extend(growth);
+    CheckResult {
+        errors,
+        notes: improvements,
+    }
+}
+
+/// The full `--report` listing: every violation (deny and ratcheted),
+/// grouped and counted.
+pub fn full_report(outcome: &Outcome, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ascend-lint: scanned {} files, {} active waivers\n\n",
+        outcome.files, outcome.waivers
+    ));
+    if outcome.deny.is_empty() {
+        out.push_str("deny-class violations: none\n");
+    } else {
+        out.push_str(&format!("deny-class violations: {}\n", outcome.deny.len()));
+        for v in &outcome.deny {
+            out.push_str(&format!("  {}\n", v.render()));
+        }
+    }
+    out.push('\n');
+    if outcome.ratchet.is_empty() {
+        out.push_str("ratcheted violations: none\n");
+    } else {
+        out.push_str("ratcheted violations (baselined, may only decrease):\n");
+        for ((rule, krate), vs) in &outcome.ratchet {
+            let allowed = baseline
+                .get(&(rule.clone(), krate.clone()))
+                .copied()
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "  {rule} in `{krate}`: {} (baseline {allowed})\n",
+                vs.len()
+            ));
+            for v in vs {
+                out.push_str(&format!("    {}\n", v.render()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Violation, NO_PANIC_HOT, NO_PANIC_LIB};
+    use std::collections::BTreeMap;
+
+    fn outcome(deny: Vec<Violation>, ratchet_n: usize) -> Outcome {
+        let mut ratchet = BTreeMap::new();
+        if ratchet_n > 0 {
+            let vs: Vec<Violation> = (0..ratchet_n)
+                .map(|i| Violation {
+                    rule: NO_PANIC_LIB,
+                    path: "crates/vit/src/model.rs".into(),
+                    crate_name: "vit".into(),
+                    line: i as u32 + 1,
+                    msg: "x".into(),
+                })
+                .collect();
+            ratchet.insert((NO_PANIC_LIB.to_string(), "vit".to_string()), vs);
+        }
+        Outcome {
+            deny,
+            ratchet,
+            files: 3,
+            waivers: 1,
+        }
+    }
+
+    fn hot_violation() -> Violation {
+        Violation {
+            rule: NO_PANIC_HOT,
+            path: "crates/core/src/serve.rs".into(),
+            crate_name: "core".into(),
+            line: 9,
+            msg: "`.unwrap()` panics".into(),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes_and_says_none() {
+        let o = outcome(Vec::new(), 0);
+        let r = check(&o, &Baseline::new());
+        assert!(r.ok());
+        let text = full_report(&o, &Baseline::new());
+        assert!(text.contains("deny-class violations: none"));
+        assert!(text.contains("ratcheted violations: none"));
+    }
+
+    #[test]
+    fn deny_violation_fails_with_file_line_location() {
+        let o = outcome(vec![hot_violation()], 0);
+        let r = check(&o, &Baseline::new());
+        assert!(!r.ok());
+        assert!(r.errors[0].contains("crates/core/src/serve.rs:9"));
+        assert!(r.errors[0].contains(NO_PANIC_HOT));
+    }
+
+    #[test]
+    fn ratchet_within_baseline_passes_and_over_fails() {
+        let baseline: Baseline = [((NO_PANIC_LIB.to_string(), "vit".to_string()), 2)]
+            .into_iter()
+            .collect();
+        assert!(check(&outcome(Vec::new(), 2), &baseline).ok());
+        let r = check(&outcome(Vec::new(), 3), &baseline);
+        assert!(!r.ok());
+        assert!(r.errors[0].contains("exceed the baseline"));
+        // Shrink: ok but noted.
+        let r = check(&outcome(Vec::new(), 1), &baseline);
+        assert!(r.ok());
+        assert_eq!(r.notes.len(), 1);
+    }
+
+    #[test]
+    fn report_lists_ratcheted_locations() {
+        let baseline: Baseline = [((NO_PANIC_LIB.to_string(), "vit".to_string()), 2)]
+            .into_iter()
+            .collect();
+        let text = full_report(&outcome(Vec::new(), 2), &baseline);
+        assert!(text.contains("no-panic-in-lib in `vit`: 2 (baseline 2)"));
+        assert!(text.contains("crates/vit/src/model.rs:1"));
+    }
+}

@@ -1,0 +1,548 @@
+//! The invariant rules and the engine that applies them.
+//!
+//! Each rule backstops a runtime guarantee the test suite already proves
+//! dynamically (see `RULES.md` for the catalog and the mapping to tests).
+//! Rules come in two severities:
+//!
+//! * **Deny** — zero unwaived violations allowed anywhere in the rule's
+//!   scope. These protect the hot-path contracts directly.
+//! * **Ratchet** — existing violations are tolerated up to the counts in
+//!   the checked-in baseline (`crates/lint/baseline.tsv`); the count per
+//!   (rule, crate) may only go *down*, exactly like the CI test-count
+//!   floor may only go up.
+//!
+//! Detection is token-sequence matching over [`crate::lexer`] output:
+//! comments, strings, and `#[cfg(test)]` regions can never fire a rule.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Tok};
+use crate::waiver;
+
+/// Rule: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in hot-path modules.
+pub const NO_PANIC_HOT: &str = "no-panic-in-hot-path";
+/// Rule: same panic surface, counted (ratcheted) in the rest of the
+/// library code.
+pub const NO_PANIC_LIB: &str = "no-panic-in-lib";
+/// Rule: no wall-clock reads in forward/compute crates.
+pub const NO_WALLCLOCK: &str = "no-wallclock-in-forward";
+/// Rule: no `HashMap`/`HashSet` in deterministic-output crates.
+pub const NO_UNORDERED: &str = "no-unordered-iteration";
+/// Rule: no potentially-truncating `as` casts in the artifact codec.
+pub const NO_LOSSY_CAST: &str = "no-lossy-cast-in-io";
+/// Rule: every crate root must carry `#![forbid(unsafe_code)]`.
+pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+/// Meta-rule: a comment that looks like a waiver but does not parse.
+pub const INVALID_WAIVER: &str = "invalid-waiver";
+/// Meta-rule: a well-formed waiver no violation ever matched.
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// Every real (waivable) rule id, in catalog order.
+pub const RULES: [&str; 6] = [
+    NO_PANIC_HOT,
+    NO_PANIC_LIB,
+    NO_WALLCLOCK,
+    NO_UNORDERED,
+    NO_LOSSY_CAST,
+    MISSING_FORBID_UNSAFE,
+];
+
+/// One rule hit at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (one of the constants above).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Crate the path belongs to (directory name under `crates/`, or
+    /// `examples`).
+    pub crate_name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl Violation {
+    /// `path:line rule — msg`, the clickable report form.
+    pub fn render(&self) -> String {
+        format!("{}:{} {} — {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Whether a rule ratchets against the baseline instead of failing
+/// outright: everything except [`NO_PANIC_LIB`] is deny-class.
+pub fn is_ratcheted(rule: &str) -> bool {
+    rule == NO_PANIC_LIB
+}
+
+/// The crate a workspace-relative path belongs to.
+pub fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("examples") => "examples".to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Hot-path modules: the serving/backend/engine forward files plus every
+/// `sc-*` kernel crate — the code the bit-identical-output and
+/// fail-closed-artifact guarantees flow through.
+fn in_hot_path(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/core/src/serve.rs"
+            | "crates/core/src/session.rs"
+            | "crates/core/src/backend.rs"
+            | "crates/core/src/engine.rs"
+    ) || rel.starts_with("crates/sc-core/src/")
+        || rel.starts_with("crates/sc-nonlinear/src/")
+        || rel.starts_with("crates/sc-hw/src/")
+}
+
+/// Crates whose outputs must be bit-identical across runs and worker
+/// counts — wall-clock reads and unordered iteration are banned here.
+fn in_forward_scope(rel: &str) -> bool {
+    matches!(
+        crate_of(rel).as_str(),
+        "sc-core" | "sc-nonlinear" | "sc-hw" | "tensor" | "vit" | "io" | "core"
+    )
+}
+
+/// The artifact codec: parsing paths must fail closed, never truncate.
+fn in_io_scope(rel: &str) -> bool {
+    rel.starts_with("crates/io/src/")
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every `lib.rs`
+/// and `main.rs` under `crates/*/src`, and every top-level bin/lib file of
+/// the `examples` crate.
+fn is_crate_root(rel: &str) -> bool {
+    (rel.starts_with("crates/") && (rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs")))
+        || (rel.starts_with("examples/") && rel.ends_with(".rs") && rel.matches('/').count() == 1)
+}
+
+/// Integer targets an `as` cast can truncate into from a wider source.
+const NARROW_INTS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Macro names whose invocation aborts instead of returning an error.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lints one file's source, returning unwaived violations and consuming
+/// waivers from its comments. Malformed and unused waivers surface as
+/// meta-violations.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let mut waivers = waiver::extract(&toks);
+    let crate_name = crate_of(rel_path);
+    let mut raw: Vec<Violation> = Vec::new();
+    let mk = |rule: &'static str, line: u32, msg: String| Violation {
+        rule,
+        path: rel_path.to_string(),
+        crate_name: crate_name.clone(),
+        line,
+        msg,
+    };
+
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code() && !t.in_test).collect();
+
+    // --- panic surface (hot-path deny + library ratchet) ------------------
+    let panic_rule = if in_hot_path(rel_path) {
+        NO_PANIC_HOT
+    } else {
+        NO_PANIC_LIB
+    };
+    for (i, t) in code.iter().enumerate() {
+        let next_is = |s: &str| matches!(code.get(i + 1), Some(n) if n.is(s));
+        let prev_is = |s: &str| i > 0 && code[i - 1].is(s);
+        if PANIC_MACROS.contains(&t.text.as_str()) && next_is("!") {
+            raw.push(mk(
+                panic_rule,
+                t.line,
+                format!("`{}!` aborts instead of returning an error", t.text),
+            ));
+        }
+        if (t.text == "unwrap" || t.text == "expect") && prev_is(".") && next_is("(") {
+            raw.push(mk(
+                panic_rule,
+                t.line,
+                format!(
+                    "`.{}()` panics on the error path; return a typed `ScError` instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+
+    // --- wall-clock reads in forward code ---------------------------------
+    if in_forward_scope(rel_path) {
+        for (i, t) in code.iter().enumerate() {
+            if t.is("Instant")
+                && matches!(code.get(i + 1), Some(a) if a.is(":"))
+                && matches!(code.get(i + 2), Some(b) if b.is(":"))
+                && matches!(code.get(i + 3), Some(n) if n.is("now"))
+            {
+                raw.push(mk(
+                    NO_WALLCLOCK,
+                    t.line,
+                    "`Instant::now()` makes output depend on the clock".to_string(),
+                ));
+            }
+            if t.is("SystemTime") {
+                raw.push(mk(
+                    NO_WALLCLOCK,
+                    t.line,
+                    "`SystemTime` makes output depend on the clock".to_string(),
+                ));
+            }
+        }
+    }
+
+    // --- unordered containers in deterministic crates ---------------------
+    if in_forward_scope(rel_path) {
+        for t in &code {
+            if t.is("HashMap") || t.is("HashSet") {
+                raw.push(mk(
+                    NO_UNORDERED,
+                    t.line,
+                    format!(
+                        "`{}` iteration order is unspecified; use `BTreeMap`/`BTreeSet` in \
+                         bit-identical-output crates",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- lossy casts in the artifact codec --------------------------------
+    if in_io_scope(rel_path) {
+        for (i, t) in code.iter().enumerate() {
+            if t.is("as") {
+                if let Some(target) = code.get(i + 1) {
+                    if NARROW_INTS.contains(&target.text.as_str()) {
+                        raw.push(mk(
+                            NO_LOSSY_CAST,
+                            t.line,
+                            format!(
+                                "`as {}` silently truncates; use `{}::try_from` in codec paths",
+                                target.text, target.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- missing #![forbid(unsafe_code)] on crate roots -------------------
+    if is_crate_root(rel_path) {
+        let all_code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+        let has = all_code.windows(8).any(|w| {
+            w[0].is("#")
+                && w[1].is("!")
+                && w[2].is("[")
+                && w[3].is("forbid")
+                && w[4].is("(")
+                && w[5].is("unsafe_code")
+                && w[6].is(")")
+                && w[7].is("]")
+        });
+        if !has {
+            raw.push(mk(
+                MISSING_FORBID_UNSAFE,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+    }
+
+    // --- apply waivers ----------------------------------------------------
+    let mut out: Vec<Violation> = Vec::new();
+    for v in raw {
+        let matching = waivers.iter_mut().find(|w| {
+            w.malformed.is_none()
+                && (w.line == v.line || w.covers == v.line)
+                && w.rules.iter().any(|r| r == v.rule)
+        });
+        match matching {
+            Some(w) => w.used = true,
+            None => out.push(v),
+        }
+    }
+    for w in &waivers {
+        if let Some(why) = &w.malformed {
+            out.push(Violation {
+                rule: INVALID_WAIVER,
+                path: rel_path.to_string(),
+                crate_name: crate_name.clone(),
+                line: w.line,
+                msg: format!("malformed waiver: {why}"),
+            });
+        } else if !w.used {
+            out.push(Violation {
+                rule: UNUSED_WAIVER,
+                path: rel_path.to_string(),
+                crate_name: crate_name.clone(),
+                line: w.line,
+                msg: format!(
+                    "waiver for `{}` matched no violation; delete it",
+                    w.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Ratchet-class violations grouped per `(rule, crate)` key.
+pub type RatchetMap = BTreeMap<(String, String), Vec<Violation>>;
+
+/// Splits violations into deny-class and ratchet-class, the latter counted
+/// per (rule, crate).
+pub fn partition(violations: Vec<Violation>) -> (Vec<Violation>, RatchetMap) {
+    let mut deny = Vec::new();
+    let mut ratchet: RatchetMap = BTreeMap::new();
+    for v in violations {
+        if is_ratcheted(v.rule) {
+            ratchet
+                .entry((v.rule.to_string(), v.crate_name.clone()))
+                .or_default()
+                .push(v);
+        } else {
+            deny.push(v);
+        }
+    }
+    (deny, ratchet)
+}
+
+/// Exposes waiver bookkeeping for reporting: how many waivers a file
+/// carries (used by `--report` statistics).
+pub fn count_waivers(src: &str) -> usize {
+    waiver::extract(&lex(src))
+        .iter()
+        .filter(|w| w.malformed.is_none())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/core/src/serve.rs";
+    const LIB: &str = "crates/vit/src/model.rs";
+    const IO: &str = "crates/io/src/format.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_deny_class() {
+        let vs = lint_source(HOT, "fn f() { x.unwrap(); }");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, NO_PANIC_HOT);
+        assert_eq!(vs[0].line, 1);
+        assert!(!is_ratcheted(NO_PANIC_HOT));
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_ratchet_class() {
+        let vs = lint_source(LIB, "fn f() { x.unwrap(); y.expect(\"m\"); }");
+        assert_eq!(vs.iter().filter(|v| v.rule == NO_PANIC_LIB).count(), 2);
+        assert!(is_ratcheted(NO_PANIC_LIB));
+    }
+
+    #[test]
+    fn panic_macros_fire_but_assert_does_not() {
+        let src = "fn f() { assert!(ok); assert_eq!(a, b); panic!(\"boom\"); unreachable!(); }";
+        let fired = rules_fired(HOT, src);
+        assert_eq!(fired, [NO_PANIC_HOT, NO_PANIC_HOT]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); \
+                   r.expect_end(); e.expect_err(\"m\"); }";
+        assert!(rules_fired(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn commented_and_quoted_panics_do_not_fire() {
+        let src = "// x.unwrap() would panic!\n/* y.expect(\"no\") */\n\
+                   let s = \"unwrap() panic!\"; let r = r#\".unwrap()\"#;";
+        assert!(rules_fired(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn test_module_panics_do_not_fire() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); panic!(); }\n}";
+        assert!(rules_fired(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_fires_only_in_forward_scope() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let vs = lint_source(HOT, src);
+        assert_eq!(vs.iter().filter(|v| v.rule == NO_WALLCLOCK).count(), 1);
+        assert_eq!(
+            vs.iter().find(|v| v.rule == NO_WALLCLOCK).map(|v| v.line),
+            Some(2)
+        );
+        // The CLI prints timing; out of scope.
+        assert!(lint_source("crates/cli/src/main.rs", src)
+            .iter()
+            .all(|v| v.rule != NO_WALLCLOCK));
+    }
+
+    #[test]
+    fn importing_instant_without_calling_now_is_fine() {
+        let src = "use std::time::Instant;\nfn f(t: Instant) -> Instant { t }";
+        assert!(rules_fired(HOT, src).iter().all(|r| *r != NO_WALLCLOCK));
+    }
+
+    #[test]
+    fn system_time_fires_anywhere_in_forward_scope() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert!(rules_fired("crates/tensor/src/tensor.rs", src).contains(&NO_WALLCLOCK));
+    }
+
+    #[test]
+    fn hashmap_fires_in_deterministic_crates_only() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let vs = lint_source("crates/sc-core/src/bitstream.rs", src);
+        assert!(vs.iter().any(|v| v.rule == NO_UNORDERED));
+        assert!(lint_source("crates/bench/src/lib.rs", src)
+            .iter()
+            .all(|v| v.rule != NO_UNORDERED));
+    }
+
+    #[test]
+    fn btreemap_is_always_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }";
+        assert!(rules_fired("crates/sc-core/src/bitstream.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_fire_in_io_only() {
+        let src = "fn f(x: u64) -> usize { x as usize }";
+        assert!(rules_fired(IO, src).contains(&NO_LOSSY_CAST));
+        assert!(rules_fired("crates/core/src/artifact.rs", src)
+            .iter()
+            .all(|r| *r != NO_LOSSY_CAST));
+    }
+
+    #[test]
+    fn widening_casts_do_not_fire() {
+        let src = "fn f(x: u32) -> u64 { let a = x as u64; let b = x as f64; a }";
+        assert!(rules_fired(IO, src).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_fires_on_crate_roots_only() {
+        let bare = "pub fn f() {}";
+        assert_eq!(
+            rules_fired("crates/io/src/lib.rs", bare),
+            [MISSING_FORBID_UNSAFE]
+        );
+        assert_eq!(
+            rules_fired("crates/cli/src/main.rs", bare),
+            [MISSING_FORBID_UNSAFE]
+        );
+        assert_eq!(
+            rules_fired("examples/quickstart.rs", bare),
+            [MISSING_FORBID_UNSAFE]
+        );
+        assert!(rules_fired("crates/io/src/format.rs", bare).is_empty());
+        let good = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert!(rules_fired("crates/io/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_exactly_its_rule_on_its_line() {
+        let src = "// ascend-lint: allow(no-panic-in-hot-path) -- clamp makes this total\n\
+                   fn f() { x.unwrap(); }";
+        assert!(rules_fired(HOT, src).is_empty());
+        // Same waiver, wrong rule: violation survives AND the waiver is
+        // flagged unused.
+        let src = "// ascend-lint: allow(no-wallclock-in-forward) -- wrong rule\n\
+                   fn f() { x.unwrap(); }";
+        let fired = rules_fired(HOT, src);
+        assert!(fired.contains(&NO_PANIC_HOT));
+        assert!(fired.contains(&UNUSED_WAIVER));
+    }
+
+    #[test]
+    fn trailing_waiver_works_on_the_same_line() {
+        let src = "fn f() { x.unwrap() } // ascend-lint: allow(no-panic-in-hot-path) -- total by construction";
+        assert!(rules_fired(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn waiver_does_not_leak_past_the_next_code_line() {
+        let src = "// ascend-lint: allow(no-panic-in-hot-path) -- only the next line\n\
+                   fn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap(); }";
+        let vs = lint_source(HOT, src);
+        assert_eq!(vs.iter().filter(|v| v.rule == NO_PANIC_HOT).count(), 1);
+        assert_eq!(
+            vs.iter().find(|v| v.rule == NO_PANIC_HOT).map(|v| v.line),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn malformed_waiver_is_a_violation() {
+        let src = "// ascend-lint: allow(no-panic-in-hot-path)\nfn f() { x.unwrap(); }";
+        let fired = rules_fired(HOT, src);
+        assert!(fired.contains(&INVALID_WAIVER));
+        // And it does NOT suppress the violation.
+        assert!(fired.contains(&NO_PANIC_HOT));
+    }
+
+    #[test]
+    fn one_waiver_can_cover_two_rules() {
+        let src = "fn f() { let t = Instant::now().elapsed(); t.unwrap() }\
+                   // ascend-lint: allow(no-panic-in-hot-path, no-wallclock-in-forward) -- report timing only";
+        assert!(rules_fired(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/sc-core/src/bsn.rs"), "sc-core");
+        assert_eq!(crate_of("crates/core/src/serve.rs"), "core");
+        assert_eq!(crate_of("examples/quickstart.rs"), "examples");
+    }
+
+    #[test]
+    fn partition_routes_by_severity() {
+        let vs = vec![
+            Violation {
+                rule: NO_PANIC_HOT,
+                path: HOT.into(),
+                crate_name: "core".into(),
+                line: 1,
+                msg: String::new(),
+            },
+            Violation {
+                rule: NO_PANIC_LIB,
+                path: LIB.into(),
+                crate_name: "vit".into(),
+                line: 2,
+                msg: String::new(),
+            },
+        ];
+        let (deny, ratchet) = partition(vs);
+        assert_eq!(deny.len(), 1);
+        assert_eq!(
+            ratchet
+                .get(&(NO_PANIC_LIB.to_string(), "vit".to_string()))
+                .map(Vec::len),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The linter run against the live workspace — the same gate CI enforces.
+//!
+//! Two invariants:
+//!
+//! 1. **Zero deny-class violations.** Hot-path panics, wall-clock reads in
+//!    forward paths, unordered iteration in bit-identical crates, lossy
+//!    casts in the artifact codec and missing `#![forbid(unsafe_code)]`
+//!    must stay at zero (or carry a reasoned waiver).
+//! 2. **The checked-in baseline matches the tree exactly.** Growth is a
+//!    regression; shrinkage must be banked by tightening
+//!    `crates/lint/baseline.tsv` so improvements cannot silently erode.
+
+use ascend_lint::baseline;
+use ascend_lint::report;
+use ascend_lint::workspace;
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> workspace root
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_deny_violations() {
+    let root = repo_root();
+    let outcome = workspace::run(&root).expect("lint run over the live workspace");
+    assert!(
+        outcome.files > 20,
+        "walker found only {} files — the source walk is broken",
+        outcome.files
+    );
+    let rendered: Vec<String> = outcome.deny.iter().map(|v| v.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "deny-class lint violations in the workspace:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn ratchet_matches_checked_in_baseline_exactly() {
+    let root = repo_root();
+    let outcome = workspace::run(&root).expect("lint run over the live workspace");
+    let baseline = workspace::load_baseline(&root).expect("baseline.tsv parses");
+    let live = outcome.ratchet_counts();
+
+    let (errors, improvements) = baseline::compare(&live, &baseline);
+    assert!(
+        errors.is_empty(),
+        "ratcheted violation counts grew past the baseline:\n{}",
+        errors.join("\n")
+    );
+    assert!(
+        improvements.is_empty(),
+        "ratchet improved — bank it by regenerating the baseline \
+         (cargo run -p ascend-lint -- --update-baseline):\n{}",
+        improvements.join("\n")
+    );
+}
+
+#[test]
+fn check_entrypoint_agrees_with_the_gate() {
+    let root = repo_root();
+    let outcome = workspace::run(&root).expect("lint run over the live workspace");
+    let baseline = workspace::load_baseline(&root).expect("baseline.tsv parses");
+    let result = report::check(&outcome, &baseline);
+    assert!(
+        result.ok(),
+        "ascend-lint --check would fail CI:\n{}",
+        result.errors.join("\n")
+    );
+}

@@ -38,12 +38,7 @@ impl<T> DesignPoint<T> {
 pub fn pareto_front<T>(mut points: Vec<DesignPoint<T>>) -> Vec<DesignPoint<T>> {
     // Sort by ADP ascending, MAE ascending as tiebreak; then a single sweep
     // keeps points with a strictly improving MAE.
-    points.sort_by(|a, b| {
-        a.adp
-            .partial_cmp(&b.adp)
-            .expect("finite adp")
-            .then(a.mae.partial_cmp(&b.mae).expect("finite mae"))
-    });
+    points.sort_by(|a, b| a.adp.total_cmp(&b.adp).then(a.mae.total_cmp(&b.mae)));
     let mut front: Vec<DesignPoint<T>> = Vec::new();
     let mut best_mae = f64::INFINITY;
     for p in points {

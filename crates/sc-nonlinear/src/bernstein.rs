@@ -84,9 +84,8 @@ pub fn fit_coefficients<F: Fn(f64) -> f64>(f: F, terms: usize) -> Result<Vec<f64
 fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
-            .expect("non-empty");
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs())).unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
         let p = a[col][col];
@@ -259,14 +258,16 @@ impl BernsteinBlock {
 
         let mut input_sngs: Vec<Lfsr> = (0..degree)
             .map(|i| {
-                Lfsr::new(16, c.seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 7919 + 1))
-                    .expect("valid width")
+                let seed = c.seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 7919 + 1);
+                // ascend-lint: allow(no-panic-in-hot-path) -- Lfsr::new only rejects unsupported widths and 16 is statically valid; any seed is accepted
+                Lfsr::new(16, seed).expect("valid width")
             })
             .collect();
         let mut coeff_sngs: Vec<Lfsr> = (0..c.terms)
             .map(|i| {
-                Lfsr::new(16, c.seed.wrapping_add(0x9E3779B9).wrapping_add(i as u32 * 104729 + 1))
-                    .expect("valid width")
+                let seed = c.seed.wrapping_add(0x9E3779B9).wrapping_add(i as u32 * 104729 + 1);
+                // ascend-lint: allow(no-panic-in-hot-path) -- Lfsr::new only rejects unsupported widths and 16 is statically valid; any seed is accepted
+                Lfsr::new(16, seed).expect("valid width")
             })
             .collect();
 

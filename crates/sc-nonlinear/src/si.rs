@@ -27,7 +27,9 @@ pub fn isotonic_regression(y: &[f64]) -> Vec<f64> {
             if mean_prev <= mean_last {
                 break;
             }
+            // ascend-lint: allow(no-panic-in-hot-path) -- the `sums.len() > 1` loop guard proves both stacks are non-empty here
             let s = sums.pop().expect("non-empty");
+            // ascend-lint: allow(no-panic-in-hot-path) -- counts grows in lockstep with sums, so the same guard applies
             let c = counts.pop().expect("non-empty");
             sums[n - 2] += s;
             counts[n - 2] += c;
@@ -121,7 +123,9 @@ impl SiBlock {
                 } else if ones_table[bx] <= j {
                     Tap::Zero
                 } else {
-                    let theta = (0..=bx).rev().find(|&t| ones_table[t] <= j).expect("exists");
+                    // t = 0 always satisfies the predicate on this branch (ones_table[0] ≤ j
+                    // was just established), so the fallback is never an approximation.
+                    let theta = (0..=bx).rev().find(|&t| ones_table[t] <= j).unwrap_or(0);
                     Tap::Input(theta)
                 }
             })
@@ -165,6 +169,7 @@ impl SiBlock {
             Tap::One => true,
             Tap::Input(i) => sorted.bits().get(*i),
         }));
+        // ascend-lint: allow(no-panic-in-hot-path) -- the output codec's even length and positive scale were validated at compile() time; ThermStream::new re-checks the same invariants
         ThermStream::new(bits, self.output.scale()).expect("compiled output codec is valid")
     }
 

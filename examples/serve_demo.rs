@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release -p ascend-examples --bin serve_demo`
 
+#![forbid(unsafe_code)]
 use ascend::engine::{EngineConfig, ScEngine};
 use ascend::fixture::{engine_or_load, FixtureRecipe};
 use ascend::serve::{ServeConfig, ServePool, ServeRequest};
