@@ -55,6 +55,13 @@ SUBCOMMANDS:
              --workers 0 (auto)  --micro-batch 4  --queue-depth 2
              --rounds 1 (repeated rounds reuse one worker pool)
              --data-seed 7
+             With --listen ADDR:PORT, serve over HTTP/1.1 instead of the
+             built-in smoke traffic (port 0 picks a free port):
+             --listen 127.0.0.1:8080  --conn-workers 4
+             --keep-alive-requests 1024
+             --port-file PATH (write the bound address for scripts)
+             --duration-secs 0 (0 = run until killed; otherwise drain
+             gracefully after that many seconds)
     info     Describe any artifact file
              --path PATH (required)
 ";
@@ -354,6 +361,11 @@ fn cmd_eval(flags: Flags) -> Result<(), CliError> {
 }
 
 fn cmd_serve(flags: Flags) -> Result<(), CliError> {
+    // `--listen` switches the subcommand from self-generated smoke
+    // traffic to the real HTTP front-end.
+    if flags.pairs.iter().any(|(k, _)| k == "listen") {
+        return cmd_serve_http(flags);
+    }
     let engine_path = PathBuf::from(flags.require("engine")?);
     let backend = parse_backend(&flags)?;
     let requests: usize = flags.get_parsed("requests", 8)?;
@@ -431,6 +443,76 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
     println!("bit-identical to serial forward: {identical}");
     if !identical {
         return Err(CliError::Runtime("parallel serving diverged from serial logits".into()));
+    }
+    Ok(())
+}
+
+/// `serve --listen ADDR:PORT`: the HTTP/1.1 front-end over the session's
+/// persistent pool — non-blocking admission, load shedding with `503
+/// Retry-After`, live `/metrics`, graceful drain.
+fn cmd_serve_http(flags: Flags) -> Result<(), CliError> {
+    use ascend_http::{HttpConfig, HttpServer};
+
+    let engine_path = PathBuf::from(flags.require("engine")?);
+    let backend = parse_backend(&flags)?;
+    let listen = flags.require("listen")?.to_string();
+    let workers: usize = flags.get_parsed("workers", 0)?;
+    let micro_batch: usize = flags.get_parsed("micro-batch", 4)?;
+    // Absent --queue-depth keeps the session's bounded default
+    // (4 × workers); `--queue-depth 0` is the explicit unbounded opt-in.
+    let queue_depth: Option<usize> = match flags.get("queue-depth") {
+        None => None,
+        Some(_) => Some(flags.get_parsed("queue-depth", 0)?),
+    };
+    let conn_workers: usize = flags.get_parsed("conn-workers", 4)?;
+    let keep_alive_requests: usize = flags.get_parsed("keep-alive-requests", 1024)?;
+    let port_file = flags.get("port-file").map(PathBuf::from);
+    let duration_secs: u64 = flags.get_parsed("duration-secs", 0)?;
+    flags.reject_unknown()?;
+
+    let mut builder = Session::builder()
+        .artifact(&engine_path)
+        .backend(backend)
+        .workers(workers)
+        .micro_batch(micro_batch);
+    if let Some(depth) = queue_depth {
+        builder = builder.queue_depth(depth);
+    }
+    let session = std::sync::Arc::new(builder.build()?);
+
+    let mut http = HttpConfig::new(listen);
+    http.conn_workers = conn_workers;
+    http.keep_alive_requests = keep_alive_requests;
+    let server = HttpServer::bind(std::sync::Arc::clone(&session), http)?;
+    let addr = server.local_addr();
+    let pool = session.runner()?;
+    println!(
+        "serving `{}` over http on {addr} — POST /v1/infer, GET /metrics \
+         ({} pool workers, queue depth {}, {} connection handlers)",
+        session.backend().name(),
+        pool.workers(),
+        if pool.queue_capacity() == 0 {
+            "unbounded".to_string()
+        } else {
+            pool.queue_capacity().to_string()
+        },
+        conn_workers,
+    );
+    if let Some(path) = port_file {
+        // Written atomically-enough for scripts: the address only appears
+        // once the listener is live.
+        std::fs::write(&path, addr.to_string())
+            .map_err(|e| CliError::Runtime(format!("writing --port-file {path:?}: {e}")))?;
+    }
+    if duration_secs > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+        server.shutdown_handle().shutdown();
+        server.join();
+        println!("drained after {duration_secs}s");
+    } else {
+        // Serve until the process is killed: join blocks while the accept
+        // loop runs.
+        server.join();
     }
     Ok(())
 }
@@ -688,6 +770,44 @@ mod tests {
             let info = ["info", "--path", p].map(String::from);
             assert_eq!(run(&info), 0, "info failed for {p}");
         }
+
+        // HTTP serving leg: `serve --listen` on a free port, bounded for
+        // time via --duration-secs, address discovered via --port-file.
+        let port_file = dir.join("addr.txt");
+        let pf = port_file.display().to_string();
+        let serve_http = [
+            "serve", "--engine", &eng, "--listen", "127.0.0.1:0", "--port-file", &pf,
+            "--duration-secs", "3", "--workers", "2", "--queue-depth", "4",
+        ]
+        .map(String::from);
+        let server = std::thread::spawn(move || run(&serve_http));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never wrote --port-file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let stream = std::net::TcpStream::connect_timeout(
+            &addr,
+            std::time::Duration::from_secs(2),
+        )
+        .expect("connect to served address");
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        ascend_http::client::write_request(&mut writer, "GET", "/metrics", &[], true)
+            .expect("metrics request");
+        let response =
+            ascend_http::client::read_response(&mut reader).expect("metrics response");
+        assert_eq!(response.status, 200, "GET /metrics over `serve --listen` failed");
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("ascend_queue_capacity 4\n"), "{text}");
+        assert_eq!(server.join().unwrap(), 0, "serve --listen failed");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

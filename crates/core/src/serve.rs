@@ -23,11 +23,16 @@
 //!   to serial output for any worker count, micro-batch size, or pool age
 //!   (`tests/serve_determinism.rs` proves it, including across repeated
 //!   `run` calls on one pool).
-//! * **Backpressure** — with a non-zero [`ServeConfig::queue_depth`] the
-//!   work queue is a bounded channel: once `queue_depth` requests are
-//!   waiting, [`ServePool::submit`] *blocks* the submitter. Requests are
-//!   never dropped and never reordered; admission simply waits for the
-//!   pool to drain.
+//! * **Backpressure, blocking or shedding** — with a non-zero
+//!   [`ServeConfig::queue_depth`] the work queue is a bounded channel and
+//!   the caller picks the admission policy per call: once `queue_depth`
+//!   requests are waiting, [`ServePool::submit`] *blocks* the submitter
+//!   until a slot frees, while [`ServePool::try_submit`] *refuses* with a
+//!   typed [`ScError::QueueFull`] and enqueues nothing — the building
+//!   block a network front-end needs to shed load (`503`) instead of
+//!   wedging its socket threads. Admitted requests are never dropped and
+//!   never reordered, and [`ServePool::queued`] exposes the live queue
+//!   depth as a gauge.
 //! * **No head-of-line blocking** — there are no inter-request barriers:
 //!   workers pull the next request the moment they finish the previous
 //!   one, so one slow request occupies one worker while the rest of the
@@ -71,11 +76,14 @@ pub struct ServeConfig {
     /// larger ones amortize per-request bookkeeping. Must be at least 1.
     pub micro_batch: usize,
     /// Capacity of the pool's work queue, in requests. `0` means
-    /// **unbounded**: [`ServePool::submit`] never blocks. Any other value
-    /// bounds admission: once `queue_depth` requests are waiting beyond
-    /// the ones workers already hold, `submit` blocks the caller until a
-    /// worker frees a slot — true backpressure that never drops or
-    /// reorders a request.
+    /// **unbounded**: [`ServePool::submit`] never blocks (and
+    /// [`ServePool::try_submit`] never sheds) — memory is the only limit,
+    /// which makes `0` an opt-in footgun for network-facing pools. Any
+    /// other value bounds admission: once `queue_depth` requests are
+    /// waiting beyond the ones workers already hold, `submit` blocks the
+    /// caller until a worker frees a slot, while `try_submit` returns
+    /// [`ScError::QueueFull`] immediately. Neither drops or reorders an
+    /// admitted request.
     pub queue_depth: usize,
 }
 
@@ -139,6 +147,20 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Assembles a report from raw parts: per-request latencies, the
+    /// run's wall clock, total images, and the worker count that served
+    /// it. This is how front-ends that collect their own timings (the
+    /// `ascend-http` `/metrics` exporter, the loadgen binary) reuse the
+    /// percentile/throughput/summary machinery instead of re-deriving it.
+    pub fn from_parts(
+        latencies: Vec<Duration>,
+        wall: Duration,
+        images: usize,
+        workers: usize,
+    ) -> Self {
+        ServeReport { latencies, wall, images, workers }
+    }
+
     /// Number of requests served.
     pub fn requests(&self) -> usize {
         self.latencies.len()
@@ -255,16 +277,38 @@ impl WorkQueue {
             Err(pool_gone())
         }
     }
+
+    /// Enqueues a job without ever blocking: a full bounded queue is a
+    /// typed [`ScError::QueueFull`] (the job is handed back untouched
+    /// inside the mpsc error and dropped here — nothing was admitted).
+    fn try_send(&self, job: Job, depth: usize) -> Result<(), ScError> {
+        match self {
+            // An unbounded queue is never full; only disconnection fails.
+            WorkQueue::Unbounded(tx) => tx.send(job).map_err(|_| pool_gone()),
+            WorkQueue::Bounded(tx) => tx.try_send(job).map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => ScError::QueueFull { depth },
+                mpsc::TrySendError::Disconnected(_) => pool_gone(),
+            }),
+        }
+    }
 }
 
 /// The error surfaced when the worker side of the pool has vanished
 /// (a worker panicked, or every worker exited) — never silent.
 fn pool_gone() -> ScError {
-    ScError::InvalidParam {
-        name: "pool",
-        reason: "serve pool has no live workers (worker thread panicked or pool shut down)"
-            .into(),
-    }
+    ScError::PoolGone
+}
+
+/// Live occupancy gauges of a pool, shared with its workers.
+///
+/// `queued` counts requests admitted to the work queue but not yet claimed
+/// by a worker; `in_flight` counts requests a worker is serving right now.
+/// Both are monotonic counters' differences maintained with relaxed
+/// atomics — a metrics gauge, not a synchronization primitive.
+#[derive(Debug, Default)]
+struct Gauges {
+    queued: AtomicUsize,
+    in_flight: AtomicUsize,
 }
 
 /// A pending request submitted to a [`ServePool`]: redeem it with
@@ -289,9 +333,9 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// Propagates the backend's execution error for this request, or a
-    /// [`ScError::InvalidParam`] if the serving worker disappeared
-    /// (panicked) before replying.
+    /// Propagates the backend's execution error for this request, or
+    /// [`ScError::PoolGone`] if the serving worker disappeared (panicked)
+    /// before replying.
     pub fn collect(self) -> Result<(Tensor, Duration), ScError> {
         match self.rx.recv() {
             Ok(served) => served.result.map(|t| (t, served.latency)),
@@ -325,6 +369,7 @@ pub struct ServePool<B: InferenceBackend + ?Sized + 'static = crate::engine::ScE
     /// `Some` for the pool's whole life; taken (dropped) on shutdown to
     /// close the channel and release the workers.
     queue: Option<WorkQueue>,
+    gauges: Arc<Gauges>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -351,20 +396,22 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
             (WorkQueue::Bounded(tx), rx)
         };
         let rx = Arc::new(Mutex::new(rx));
+        let gauges = Arc::new(Gauges::default());
         let workers = (0..cfg.resolved_workers())
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let backend = Arc::clone(&backend);
+                let gauges = Arc::clone(&gauges);
                 std::thread::Builder::new()
                     .name(format!("ascend-serve-{i}"))
-                    .spawn(move || worker_loop(&*backend, &rx))
+                    .spawn(move || worker_loop(&*backend, &rx, &gauges))
                     .map_err(|e| ScError::Io {
                         path: format!("thread ascend-serve-{i}"),
                         reason: e.to_string(),
                     })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ServePool { backend, cfg, queue: Some(queue), workers })
+        Ok(ServePool { backend, cfg, queue: Some(queue), gauges, workers })
     }
 
     /// The pool's configuration.
@@ -382,6 +429,25 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         self.workers.len()
     }
 
+    /// Live queue depth: requests admitted to the work queue that no
+    /// worker has claimed yet. A relaxed-atomic gauge for metrics and
+    /// load-shedding decisions, not a synchronization primitive — the
+    /// value can be momentarily stale under concurrent submitters.
+    pub fn queued(&self) -> usize {
+        self.gauges.queued.load(Ordering::Relaxed)
+    }
+
+    /// Requests a worker is serving right now (claimed, not yet replied).
+    /// Same relaxed-gauge semantics as [`ServePool::queued`].
+    pub fn in_flight(&self) -> usize {
+        self.gauges.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The queue's configured capacity in requests (`0` = unbounded).
+    pub fn queue_capacity(&self) -> usize {
+        self.cfg.queue_depth
+    }
+
     /// Submits one owned request to the pool, returning a [`ServeHandle`]
     /// to collect its logits later — the streaming half of the API.
     ///
@@ -396,6 +462,44 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
     /// does not hold exactly `images` images, or if the pool has no live
     /// workers left.
     pub fn submit(&self, request: ServeRequest) -> Result<ServeHandle, ScError> {
+        let (job, rx, images) = self.make_job(request)?;
+        // The queue is `Some` for the pool's whole life (taken only during
+        // drop); a typed error keeps this hot path panic-free even if that
+        // invariant ever breaks.
+        let queue = self.queue.as_ref().ok_or_else(pool_gone)?;
+        queue.send(job)?;
+        self.gauges.queued.fetch_add(1, Ordering::Relaxed);
+        Ok(ServeHandle { rx, images })
+    }
+
+    /// Non-blocking admission: like [`ServePool::submit`], but a full
+    /// bounded queue **refuses** the request with a typed
+    /// [`ScError::QueueFull`] instead of blocking the caller — nothing is
+    /// enqueued on refusal, so the caller can shed the load (an HTTP
+    /// front-end answers `503 Retry-After`) and stay responsive. On an
+    /// unbounded queue (`queue_depth == 0`) this is identical to `submit`:
+    /// admission never fails for capacity reasons.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ScError::InvalidParam`] for a malformed request, and
+    /// [`ScError::PoolGone`] when no live workers remain.
+    pub fn try_submit(&self, request: ServeRequest) -> Result<ServeHandle, ScError> {
+        let (job, rx, images) = self.make_job(request)?;
+        let queue = self.queue.as_ref().ok_or_else(pool_gone)?;
+        queue.try_send(job, self.cfg.queue_depth)?;
+        self.gauges.queued.fetch_add(1, Ordering::Relaxed);
+        Ok(ServeHandle { rx, images })
+    }
+
+    /// Validates a request and packages it as a queue job plus the
+    /// caller's reply endpoint — the shared front half of
+    /// [`ServePool::submit`] and [`ServePool::try_submit`].
+    fn make_job(
+        &self,
+        request: ServeRequest,
+    ) -> Result<(Job, Receiver<Served>, usize), ScError> {
         let cfg = self.backend.vit_config();
         let (p, pd) = (cfg.num_patches(), cfg.patch_dim());
         if request.patches.data().len() != request.images * p * pd {
@@ -413,12 +517,7 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         // blocks, so a slow collector cannot stall the pool.
         let (reply, rx) = mpsc::sync_channel(1);
         let images = request.images;
-        // The queue is `Some` for the pool's whole life (taken only during
-        // drop); a typed error keeps this hot path panic-free even if that
-        // invariant ever breaks.
-        let queue = self.queue.as_ref().ok_or_else(pool_gone)?;
-        queue.send(Job { patches: request.patches, images, reply })?;
-        Ok(ServeHandle { rx, images })
+        Ok((Job { patches: request.patches, images, reply }, rx, images))
     }
 
     /// Serves a queue of requests, returning per-request logits in request
@@ -560,7 +659,11 @@ impl<B: InferenceBackend + ?Sized + 'static> Drop for ServePool<B> {
 
 /// The worker body: pull a job, serve it with the thread's one reusable
 /// scratch, reply, repeat until the queue closes.
-fn worker_loop<B: InferenceBackend + ?Sized>(backend: &B, rx: &Mutex<Receiver<Job>>) {
+fn worker_loop<B: InferenceBackend + ?Sized>(
+    backend: &B,
+    rx: &Mutex<Receiver<Job>>,
+    gauges: &Gauges,
+) {
     let mut scratch = backend.make_scratch();
     loop {
         // Hold the receiver lock only for the blocking pull, never while
@@ -575,11 +678,14 @@ fn worker_loop<B: InferenceBackend + ?Sized>(backend: &B, rx: &Mutex<Receiver<Jo
                 Err(_) => break, // queue closed: graceful shutdown
             }
         };
+        gauges.queued.fetch_sub(1, Ordering::Relaxed);
+        gauges.in_flight.fetch_add(1, Ordering::Relaxed);
         // ascend-lint: allow(no-wallclock-in-forward) -- per-request service latency for ServeReport; timing never reaches the output tensor
         let t0 = Instant::now();
         let result = backend.forward_with(&job.patches, job.images, &mut scratch);
         // A dropped handle just means nobody wants this answer.
         let _ = job.reply.send(Served { result, latency: t0.elapsed() });
+        gauges.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -24,6 +24,13 @@
 //! stored calibration batch; the float reference needs no calibration),
 //! while a **compiled engine artifact** loads the SC backend directly and
 //! is rejected for the reference backend, which needs the model itself.
+//!
+//! Serving defaults are production-lean: unless
+//! [`SessionBuilder::queue_depth`] says otherwise, the admission queue is
+//! **bounded** at `4 × workers` so a traffic burst backpressures (or is
+//! shed via [`ServePool::try_submit`]) instead of growing the queue until
+//! the process dies. An unbounded queue is an explicit `.queue_depth(0)`
+//! opt-in.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
@@ -94,6 +101,11 @@ pub struct SessionBuilder {
     kind: BackendKind,
     engine_config: EngineConfig,
     serve: ServeConfig,
+    /// `None` until [`SessionBuilder::queue_depth`] is called; resolved to
+    /// a **bounded** default (`4 × workers`) at build time. An unbounded
+    /// queue is an explicit opt-in via `.queue_depth(0)` — never a
+    /// default a network-facing session can stumble into.
+    queue_depth: Option<usize>,
     fault: Option<(f64, u64)>,
 }
 
@@ -104,6 +116,7 @@ impl SessionBuilder {
             kind: BackendKind::Sc,
             engine_config: EngineConfig::default(),
             serve: ServeConfig::auto(),
+            queue_depth: None,
             fault: None,
         }
     }
@@ -157,10 +170,15 @@ impl SessionBuilder {
         self
     }
 
-    /// Bounded admission-queue depth; `0` means unbounded (see
-    /// [`ServeConfig::queue_depth`]).
+    /// Bounded admission-queue depth. Unset, the session defaults to a
+    /// **bounded** queue of `4 × workers` — a full queue then blocks
+    /// [`ServePool::submit`] or sheds on [`ServePool::try_submit`] rather
+    /// than growing without limit. Passing `0` explicitly opts into an
+    /// unbounded queue (see [`ServeConfig::queue_depth`]); that is an OOM
+    /// footgun for any network-facing pool, which is exactly why it
+    /// cannot happen by default.
     pub fn queue_depth(mut self, queue_depth: usize) -> Self {
-        self.serve.queue_depth = queue_depth;
+        self.queue_depth = Some(queue_depth);
         self
     }
 
@@ -190,9 +208,15 @@ impl SessionBuilder {
             reason: "Session::builder() needs .artifact(path), .checkpoint(..), or .engine(..)"
                 .into(),
         })?;
+        // Resolve the admission queue: bounded by default. `4 × workers`
+        // keeps every worker busy with headroom while capping the memory
+        // a burst can pin; only an explicit `.queue_depth(0)` opts out.
+        let mut serve = self.serve;
+        serve.queue_depth =
+            self.queue_depth.unwrap_or_else(|| 4 * serve.resolved_workers());
         // Validate the serving shape and fault parameters up front — a bad
         // knob must fail before the expensive load/compile, not after.
-        if self.serve.micro_batch == 0 {
+        if serve.micro_batch == 0 {
             return Err(ScError::InvalidParam {
                 name: "micro_batch",
                 reason: "micro-batch size must be at least 1".into(),
@@ -249,7 +273,7 @@ impl SessionBuilder {
             None => backend,
             Some((rate, seed)) => Box::new(FaultInjectingBackend::new(backend, rate, seed)?),
         };
-        Ok(Session { backend: Arc::from(backend), serve: self.serve, pool: OnceLock::new() })
+        Ok(Session { backend: Arc::from(backend), serve, pool: OnceLock::new() })
     }
 
     fn compile(
@@ -280,6 +304,29 @@ impl Session {
     /// Starts building a session.
     pub fn builder() -> SessionBuilder {
         SessionBuilder::new()
+    }
+
+    /// Wraps an already-constructed backend — shared, so the caller keeps
+    /// its own handle — as a session with the given serving configuration,
+    /// exactly as `serve` says (no bounded-queue defaulting: embedders
+    /// and tests state the queue shape they mean). This is the embedding
+    /// hook the HTTP front-end's tests use to drive the serving stack
+    /// with controllable (gated, panicking) backends.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::InvalidParam`] if `serve.micro_batch` is zero.
+    pub fn from_shared_backend(
+        backend: Arc<dyn InferenceBackend>,
+        serve: ServeConfig,
+    ) -> Result<Session, ScError> {
+        if serve.micro_batch == 0 {
+            return Err(ScError::InvalidParam {
+                name: "micro_batch",
+                reason: "micro-batch size must be at least 1".into(),
+            });
+        }
+        Ok(Session { backend, serve, pool: OnceLock::new() })
     }
 
     /// The session's backend, as the trait object every consumer codes
@@ -417,6 +464,59 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, ScError::InvalidParam { name: "backend", .. }), "got {err:?}");
+    }
+
+    fn unit_engine() -> crate::engine::ScEngine {
+        // Shares the cached "artifact-unit" fixture of the artifact tests.
+        let mut recipe = crate::fixture::FixtureRecipe::tiny("artifact-unit", 13);
+        recipe.n_train = 32;
+        recipe.n_test = 16;
+        recipe.pre_epochs = 1;
+        recipe.qat_epochs = 0;
+        let (engine, _, _) =
+            crate::fixture::engine_or_load(&recipe, EngineConfig::default()).expect("engine");
+        engine
+    }
+
+    #[test]
+    fn builder_defaults_to_a_bounded_queue_scaled_to_workers() {
+        let session = Session::builder()
+            .engine(unit_engine())
+            .workers(2)
+            .build()
+            .expect("session builds");
+        // The production-lean default: 4 slots per worker, not unbounded.
+        assert_eq!(session.runner().expect("pool").queue_capacity(), 8);
+    }
+
+    #[test]
+    fn explicit_zero_queue_depth_opts_back_into_unbounded() {
+        let session = Session::builder()
+            .engine(unit_engine())
+            .workers(2)
+            .queue_depth(0)
+            .build()
+            .expect("session builds");
+        assert_eq!(session.runner().expect("pool").queue_capacity(), 0);
+    }
+
+    #[test]
+    fn shared_backend_session_takes_the_serve_config_literally() {
+        let backend: Arc<dyn InferenceBackend> = Arc::new(unit_engine());
+        let session = Session::from_shared_backend(
+            Arc::clone(&backend),
+            ServeConfig { workers: 1, micro_batch: 4, queue_depth: 3 },
+        )
+        .expect("session builds");
+        // No defaulting on this path: the embedder's config is law.
+        assert_eq!(session.runner().expect("pool").queue_capacity(), 3);
+        let err = Session::from_shared_backend(
+            backend,
+            ServeConfig { workers: 1, micro_batch: 0, queue_depth: 3 },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, ScError::InvalidParam { name: "micro_batch", .. }), "got {err:?}");
     }
 
     #[test]

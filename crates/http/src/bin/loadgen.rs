@@ -1,0 +1,336 @@
+//! `loadgen` — the self-hosted stress smoke for `ascend-http`.
+//!
+//! Boots an [`HttpServer`] in-process over a saved artifact, then hammers
+//! it with keep-alive connections and verifies the serving contract under
+//! overload:
+//!
+//! * every request is answered `200` or shed with `503 Retry-After` —
+//!   nothing is dropped without a response and nothing hangs;
+//! * every `200` body is byte-identical to the in-process serial forward
+//!   of the same payload (the pool's bit-identity contract survives the
+//!   wire);
+//! * `/metrics` is live at the end of the run;
+//! * graceful drain completes (shutdown + join returns).
+//!
+//! Exit status is non-zero when any of those fail, so CI can run this
+//! directly as a gate:
+//!
+//! ```text
+//! loadgen --engine target/smoke/engine.sceng \
+//!         --requests 200 --connections 8 --workers 2 --queue-depth 2
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ascend::serve::ServeReport;
+use ascend::{BackendKind, Session};
+use ascend_http::{client, HttpConfig, HttpServer};
+
+struct Args {
+    engine: String,
+    backend: BackendKind,
+    connections: usize,
+    requests: usize,
+    images: usize,
+    workers: usize,
+    queue_depth: usize,
+    conn_workers: usize,
+}
+
+const USAGE: &str = "\
+loadgen — stress smoke for the ascend-http serving front-end
+
+usage:
+    loadgen --engine PATH [options]
+
+options:
+    --engine PATH       engine or checkpoint artifact to serve (required)
+    --backend sc|ref    inference backend (sc; ref needs a checkpoint)
+    --requests N        total requests across all connections (200)
+    --connections N     concurrent keep-alive client connections (8)
+    --images N          images per request (1)
+    --workers N         serving-pool worker threads (2)
+    --queue-depth N     bounded admission queue depth (2; small forces shedding)
+    --conn-workers N    server connection-handler threads (4)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        engine: String::new(),
+        backend: BackendKind::Sc,
+        connections: 8,
+        requests: 200,
+        images: 1,
+        workers: 2,
+        queue_depth: 2,
+        conn_workers: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.into());
+        }
+        let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let parse = |v: &str| v.parse::<usize>().map_err(|_| format!("bad number for {flag}: {v}"));
+        match flag.as_str() {
+            "--engine" => args.engine = value,
+            "--backend" => {
+                args.backend = match value.as_str() {
+                    "sc" => BackendKind::Sc,
+                    "ref" => BackendKind::Ref,
+                    other => return Err(format!("unknown backend {other} (want sc|ref)")),
+                }
+            }
+            "--requests" => args.requests = parse(&value)?,
+            "--connections" => args.connections = parse(&value)?,
+            "--images" => args.images = parse(&value)?,
+            "--workers" => args.workers = parse(&value)?,
+            "--queue-depth" => args.queue_depth = parse(&value)?,
+            "--conn-workers" => args.conn_workers = parse(&value)?,
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if args.engine.is_empty() {
+        return Err(format!("--engine is required\n\n{USAGE}"));
+    }
+    if args.requests == 0 || args.connections == 0 || args.images == 0 {
+        return Err("--requests, --connections, and --images must be nonzero".into());
+    }
+    Ok(args)
+}
+
+/// Everything one client thread tallies.
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    shed_without_retry_after: AtomicU64,
+    unexpected_status: AtomicU64,
+    body_mismatch: AtomicU64,
+    io_failures: AtomicU64,
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // The served session: bounded queue so overload actually sheds.
+    let session = Session::builder()
+        .artifact(&args.engine)
+        .backend(args.backend)
+        .workers(args.workers)
+        .queue_depth(args.queue_depth)
+        .build()
+        .map_err(|e| format!("session build failed: {e}"))?;
+    let session = Arc::new(session);
+
+    // The canonical payload every request carries, and — computed through
+    // the plain serial forward, no pool — the bytes every 200 must equal.
+    let vit = session.backend().vit_config();
+    let values = args.images * vit.num_patches() * vit.patch_dim();
+    let patches: Vec<f32> =
+        (0..values).map(|i| (i % 17) as f32 * 0.0625 - 0.5).collect();
+    let payload = Arc::new(ascend_http::encode_infer_request(&patches, args.images));
+    let (tensor, images) = ascend_http::decode_infer_request(&payload, vit)
+        .map_err(|e| format!("self-check: payload does not decode: {e}"))?;
+    let serial = session
+        .backend()
+        .forward(&tensor, images)
+        .map_err(|e| format!("serial reference forward failed: {e}"))?;
+    let expected = Arc::new(ascend_http::encode_logits(&serial, images, vit.classes));
+
+    let mut cfg = HttpConfig::new("127.0.0.1:0");
+    cfg.conn_workers = args.conn_workers;
+    let server = HttpServer::bind(Arc::clone(&session), cfg)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "loadgen: serving {} on {addr} ({} pool workers, queue depth {})",
+        session.backend().name(),
+        args.workers,
+        args.queue_depth,
+    );
+
+    let tally = Arc::new(Tally::default());
+    let next = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(std::sync::Mutex::new(Vec::with_capacity(args.requests)));
+    let started = Instant::now();
+
+    let mut clients = Vec::with_capacity(args.connections);
+    for _ in 0..args.connections {
+        let tally = Arc::clone(&tally);
+        let next = Arc::clone(&next);
+        let payload = Arc::clone(&payload);
+        let expected = Arc::clone(&expected);
+        let latencies = Arc::clone(&latencies);
+        clients.push(std::thread::spawn(move || {
+            client_loop(addr, args.requests, &next, &payload, &expected, &tally, &latencies);
+        }));
+    }
+    for c in clients {
+        let _ = c.join();
+    }
+    let wall = started.elapsed();
+
+    // /metrics must be live after the storm.
+    let metrics_text = fetch_metrics(addr)?;
+
+    // Graceful drain: this returning IS the assertion.
+    server.shutdown_handle().shutdown();
+    server.join();
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
+    let lat = {
+        let mut guard = latencies.lock().map_err(|_| "latency lock poisoned".to_string())?;
+        std::mem::take(&mut *guard)
+    };
+    let report = ServeReport::from_parts(lat, wall, ok as usize * args.images, args.workers);
+    eprintln!(
+        "loadgen: {} requests in {:.2}s — {ok} ok, {shed} shed (503), \
+         p50 {:?}, p95 {:?}, {:.1} images/s",
+        args.requests,
+        wall.as_secs_f64(),
+        report.latency_percentile(50.0),
+        report.latency_percentile(95.0),
+        report.throughput(),
+    );
+    eprintln!("loadgen: final /metrics:\n{metrics_text}");
+
+    let mut failures = Vec::new();
+    if ok + shed != args.requests as u64 {
+        failures.push(format!(
+            "{} of {} requests got neither 200 nor 503",
+            args.requests as u64 - (ok + shed),
+            args.requests
+        ));
+    }
+    if ok == 0 {
+        failures.push("no request succeeded at all".into());
+    }
+    for (count, what) in [
+        (tally.unexpected_status.load(Ordering::Relaxed), "unexpected status"),
+        (tally.body_mismatch.load(Ordering::Relaxed), "200 body != serial forward bytes"),
+        (tally.shed_without_retry_after.load(Ordering::Relaxed), "503 without Retry-After"),
+        (tally.io_failures.load(Ordering::Relaxed), "request dropped on i/o error"),
+    ] {
+        if count > 0 {
+            failures.push(format!("{count} × {what}"));
+        }
+    }
+    if !metrics_text.contains("ascend_http_responses_ok_total") {
+        failures.push("/metrics response lacks counters".into());
+    }
+    if failures.is_empty() {
+        eprintln!("loadgen: PASS");
+        Ok(())
+    } else {
+        Err(format!("loadgen: FAIL\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// One client thread: keep a connection alive, claim request slots off
+/// the shared counter, and tally every outcome. Reconnects when the
+/// server closes the connection (keep-alive cap, shed, or drain).
+fn client_loop(
+    addr: std::net::SocketAddr,
+    total: usize,
+    next: &AtomicUsize,
+    payload: &[u8],
+    expected: &[u8],
+    tally: &Tally,
+    latencies: &std::sync::Mutex<Vec<Duration>>,
+) {
+    let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    while next.fetch_add(1, Ordering::Relaxed) < total {
+        // Each claimed slot gets a few attempts so a connection the
+        // server closed under us (keep-alive cap) is retried, but a
+        // genuinely dead server cannot loop forever.
+        let mut answered = false;
+        for _attempt in 0..3 {
+            if conn.is_none() {
+                conn = connect(addr);
+            }
+            let Some((reader, writer)) = conn.as_mut() else {
+                continue;
+            };
+            let sent = Instant::now();
+            if client::write_request(writer, "POST", "/v1/infer", payload, false).is_err() {
+                conn = None;
+                continue;
+            }
+            let response = match client::read_response(reader) {
+                Ok(r) => r,
+                Err(_) => {
+                    conn = None;
+                    continue;
+                }
+            };
+            match response.status {
+                200 => {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                    if response.body != expected {
+                        tally.body_mismatch.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Ok(mut guard) = latencies.lock() {
+                        guard.push(sent.elapsed());
+                    }
+                }
+                503 => {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                    if response.header("retry-after").is_none() {
+                        tally.shed_without_retry_after.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    tally.unexpected_status.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if response.wants_close() {
+                conn = None;
+            }
+            answered = true;
+            break;
+        }
+        if !answered {
+            tally.io_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> Option<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    stream.set_write_timeout(Some(Duration::from_secs(10))).ok()?;
+    let reader = BufReader::new(stream.try_clone().ok()?);
+    Some((reader, stream))
+}
+
+fn fetch_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+    let (mut reader, mut writer) =
+        connect(addr).ok_or_else(|| "could not connect for /metrics".to_string())?;
+    client::write_request(&mut writer, "GET", "/metrics", &[], true)
+        .map_err(|e| format!("/metrics write failed: {e}"))?;
+    let response =
+        client::read_response(&mut reader).map_err(|e| format!("/metrics read failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("/metrics answered {}", response.status));
+    }
+    String::from_utf8(response.body).map_err(|_| "/metrics body is not utf-8".into())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Server-side counters and the `/metrics` exporter.
+//!
+//! Counters are relaxed atomics (they are gauges for operators, not
+//! synchronization); latencies keep a bounded sliding window so the
+//! percentile cost and memory stay flat no matter how long the server
+//! runs. Rendering reuses [`ServeReport`]'s nearest-rank percentile and
+//! throughput machinery so the HTTP numbers mean exactly what the
+//! in-process serving report means.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ascend::serve::ServeReport;
+
+/// How many recent request latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Live counters of one [`crate::HttpServer`].
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests that produced a `200`.
+    pub ok: AtomicU64,
+    /// Requests shed with `503` (queue full or pool gone).
+    pub shed: AtomicU64,
+    /// Requests answered with a `4xx`.
+    pub client_error: AtomicU64,
+    /// Requests answered with a `5xx` other than shedding.
+    pub server_error: AtomicU64,
+    /// Connections accepted onto a handler thread.
+    pub connections: AtomicU64,
+    /// Connections refused with `503` because the hand-off backlog was
+    /// full (every handler busy).
+    pub conn_shed: AtomicU64,
+    /// Images served across all `200` responses.
+    pub images: AtomicU64,
+    latencies: Mutex<VecDeque<Duration>>,
+    started: Instant,
+}
+
+impl ServerMetrics {
+    /// Fresh, zeroed metrics; the clock for throughput starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            ok: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            client_error: AtomicU64::new(0),
+            server_error: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            conn_shed: AtomicU64::new(0),
+            images: AtomicU64::new(0),
+            latencies: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one served request: its service latency and image count.
+    pub fn record_served(&self, latency: Duration, images: usize) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        self.images.fetch_add(images as u64, Ordering::Relaxed);
+        let mut window = match self.latencies.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(latency);
+    }
+
+    /// Tallies a non-`200` response under the right counter.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            503 => &self.shed,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A [`ServeReport`] over the latency window — the same percentile
+    /// semantics the in-process serving path reports.
+    pub fn report(&self, workers: usize) -> ServeReport {
+        let window = match self.latencies.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let latencies: Vec<Duration> = window.iter().copied().collect();
+        drop(window);
+        let images = usize::try_from(self.images.load(Ordering::Relaxed)).unwrap_or(usize::MAX);
+        ServeReport::from_parts(latencies, self.started.elapsed(), images, workers)
+    }
+
+    /// Renders the Prometheus-style text exposition for `GET /metrics`.
+    ///
+    /// `queued`/`queue_capacity`/`in_flight` come from the pool's live
+    /// gauges; `workers` is the pool size.
+    pub fn render(
+        &self,
+        queued: usize,
+        queue_capacity: usize,
+        in_flight: usize,
+        workers: usize,
+    ) -> String {
+        let report = self.report(workers);
+        let q = |p: f64| report.latency_percentile(p).as_secs_f64();
+        let throughput = report.throughput();
+        format!(
+            "ascend_http_responses_ok_total {}\n\
+             ascend_http_shed_total {}\n\
+             ascend_http_client_error_total {}\n\
+             ascend_http_server_error_total {}\n\
+             ascend_http_connections_total {}\n\
+             ascend_http_connections_shed_total {}\n\
+             ascend_images_total {}\n\
+             ascend_queue_depth {queued}\n\
+             ascend_queue_capacity {queue_capacity}\n\
+             ascend_in_flight {in_flight}\n\
+             ascend_workers {workers}\n\
+             ascend_latency_seconds{{quantile=\"0.5\"}} {:.6}\n\
+             ascend_latency_seconds{{quantile=\"0.95\"}} {:.6}\n\
+             ascend_latency_seconds{{quantile=\"1.0\"}} {:.6}\n\
+             ascend_throughput_images_per_second {:.3}\n",
+            self.ok.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.client_error.load(Ordering::Relaxed),
+            self.server_error.load(Ordering::Relaxed),
+            self.connections.load(Ordering::Relaxed),
+            self.conn_shed.load(Ordering::Relaxed),
+            self.images.load(Ordering::Relaxed),
+            q(50.0),
+            q(95.0),
+            q(100.0),
+            if throughput.is_finite() { throughput } else { 0.0 },
+        )
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_counters_gauges_and_percentiles() {
+        let m = ServerMetrics::new();
+        m.record_served(Duration::from_millis(10), 2);
+        m.record_served(Duration::from_millis(30), 1);
+        m.record_status(503);
+        m.record_status(400);
+        m.record_status(500);
+        let text = m.render(3, 8, 1, 4);
+        assert!(text.contains("ascend_http_responses_ok_total 2\n"), "{text}");
+        assert!(text.contains("ascend_http_shed_total 1\n"), "{text}");
+        assert!(text.contains("ascend_http_client_error_total 1\n"), "{text}");
+        assert!(text.contains("ascend_http_server_error_total 1\n"), "{text}");
+        assert!(text.contains("ascend_images_total 3\n"), "{text}");
+        assert!(text.contains("ascend_queue_depth 3\n"), "{text}");
+        assert!(text.contains("ascend_queue_capacity 8\n"), "{text}");
+        assert!(text.contains("ascend_in_flight 1\n"), "{text}");
+        assert!(text.contains("ascend_workers 4\n"), "{text}");
+        assert!(text.contains("quantile=\"0.95\"} 0.030000\n"), "{text}");
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = ServerMetrics::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.record_served(Duration::from_micros(i as u64), 1);
+        }
+        let report = m.report(1);
+        assert_eq!(report.latencies().len(), LATENCY_WINDOW);
+        // The window slid: the smallest retained latency is the 100th.
+        assert_eq!(report.latency_percentile(0.0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn empty_metrics_render_without_panicking() {
+        let text = ServerMetrics::new().render(0, 0, 0, 1);
+        assert!(text.contains("ascend_http_responses_ok_total 0\n"));
+        assert!(text.contains("ascend_throughput_images_per_second 0.000\n"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The listener, connection-thread pool, router, and graceful drain.
+//!
+//! Threading model: one accept thread polls a non-blocking listener and
+//! hands accepted sockets to a small bounded channel; `conn_workers`
+//! handler threads each own one connection at a time and run its
+//! keep-alive loop. Inference admission inside a handler is strictly
+//! non-blocking ([`ServePool::try_submit`]): a full work queue answers
+//! `503 Retry-After` immediately, so a traffic burst can never wedge the
+//! socket threads behind a blocking submit — the bugfix this crate is
+//! built around. When every handler is busy and the hand-off backlog is
+//! full, whole connections are shed with `503` the same way.
+//!
+//! Shutdown is graceful: [`ShutdownHandle::shutdown`] stops the accept
+//! loop, handler threads finish the request they are serving (responses
+//! for admitted work are always written), remaining backlogged
+//! connections get one final exchange with `Connection: close`, and
+//! [`HttpServer::join`] joins every thread.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ascend::serve::ServeRequest;
+use ascend::Session;
+use sc_core::ScError;
+
+use crate::http1::{self, Limits, ParseError, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::HttpConfig;
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A clonable remote control for stopping the server from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: the listener stops accepting, in-flight
+    /// requests finish, and [`HttpServer::join`] returns once every
+    /// thread has exited. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// The running HTTP front-end; see the [module docs](self).
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    session: Arc<Session>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds the listener, spawns the serving pool (eagerly, so a broken
+    /// session fails here and not on the first request), the accept
+    /// thread, and `cfg.conn_workers` connection-handler threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::Io`] if the address cannot be bound or a thread cannot
+    /// be spawned; [`ScError::InvalidParam`] for a zero
+    /// `conn_workers`/`keep_alive_requests` or a malformed session
+    /// serving configuration.
+    pub fn bind(session: Arc<Session>, cfg: HttpConfig) -> Result<HttpServer, ScError> {
+        if cfg.conn_workers == 0 {
+            return Err(ScError::InvalidParam {
+                name: "conn_workers",
+                reason: "the server needs at least one connection-handler thread".into(),
+            });
+        }
+        if cfg.keep_alive_requests == 0 {
+            return Err(ScError::InvalidParam {
+                name: "keep_alive_requests",
+                reason: "a connection must be allowed at least one request".into(),
+            });
+        }
+        // Spawn the pool now: the first request must never pay (or trip
+        // over) lazy pool construction.
+        session.runner()?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ScError::Io {
+            path: cfg.addr.clone(),
+            reason: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ScError::Io {
+            path: cfg.addr.clone(),
+            reason: e.to_string(),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| ScError::Io {
+            path: cfg.addr.clone(),
+            reason: e.to_string(),
+        })?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let cfg = Arc::new(cfg);
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.conn_workers);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let spawn_err = |name: &str, e: std::io::Error| ScError::Io {
+            path: format!("thread {name}"),
+            reason: e.to_string(),
+        };
+        let mut workers = Vec::with_capacity(cfg.conn_workers);
+        for i in 0..cfg.conn_workers {
+            let rx = Arc::clone(&conn_rx);
+            let session = Arc::clone(&session);
+            let metrics = Arc::clone(&metrics);
+            let cfg = Arc::clone(&cfg);
+            let stop = Arc::clone(&stop);
+            let name = format!("ascend-http-{i}");
+            workers.push(
+                std::thread::Builder::new()
+                    .name(name.clone())
+                    .spawn(move || conn_worker(&rx, &session, &metrics, &cfg, &stop))
+                    .map_err(|e| spawn_err(&name, e))?,
+            );
+        }
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let write_timeout = cfg.write_timeout;
+            std::thread::Builder::new()
+                .name("ascend-http-accept".into())
+                .spawn(move || accept_loop(&listener, &conn_tx, &stop, &metrics, write_timeout))
+                .map_err(|e| spawn_err("ascend-http-accept", e))?
+        };
+        Ok(HttpServer { addr, stop, metrics, session, accept: Some(accept), workers })
+    }
+
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The session this server fronts.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// A clonable handle that can stop the server from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { stop: Arc::clone(&self.stop) }
+    }
+
+    /// Graceful drain: stop accepting, let handlers finish their
+    /// in-flight work, and join every thread. Also triggered by `Drop`;
+    /// calling it explicitly just makes shutdown visible at the call
+    /// site.
+    pub fn join(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Polls the non-blocking listener, handing sockets to the worker
+/// channel; a full channel means every handler is busy and the backlog
+/// is taken, so the connection is shed with a `503` instead of queueing
+/// without bound. Exits when the stop flag is set, dropping the sender
+/// so workers drain the backlog and exit too.
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    metrics: &ServerMetrics,
+    write_timeout: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => match conn_tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    metrics.conn_shed.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(stream, write_timeout);
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if http1::is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept failures (e.g. per-connection resource
+            // limits) must not kill the listener.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Best-effort `503` on a connection there is no handler capacity for.
+fn shed_connection(mut stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let response = Response::text(503, "server at connection capacity; retry later")
+        .with_header("retry-after", "1");
+    let _ = response.write_to(&mut stream, true);
+}
+
+/// A connection-handler thread: pull sockets until the channel closes.
+fn conn_worker(
+    rx: &Mutex<Receiver<TcpStream>>,
+    session: &Arc<Session>,
+    metrics: &ServerMetrics,
+    cfg: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    loop {
+        let stream = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match guard.recv() {
+                Ok(stream) => stream,
+                Err(_) => break, // accept loop gone: shutdown
+            }
+        };
+        metrics.connections.fetch_add(1, Ordering::Relaxed);
+        handle_connection(stream, session, metrics, cfg, stop);
+    }
+}
+
+/// Runs one connection's keep-alive loop to completion.
+fn handle_connection(
+    mut stream: TcpStream,
+    session: &Arc<Session>,
+    metrics: &ServerMetrics,
+    cfg: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let limits = Limits {
+        max_header_bytes: cfg.max_header_bytes,
+        max_headers: cfg.max_headers,
+        max_body_bytes: cfg.max_body_bytes,
+    };
+
+    for served in 0..cfg.keep_alive_requests {
+        // During drain, finish what was started but take nothing new.
+        if stop.load(Ordering::SeqCst) && served > 0 {
+            break;
+        }
+        let request = match http1::read_request(&mut reader, &limits) {
+            Ok(request) => request,
+            Err(e) => {
+                respond_parse_error(&mut stream, metrics, &e);
+                return;
+            }
+        };
+        let last = served + 1 == cfg.keep_alive_requests;
+        let (response, served_infer) = route(&request, session, metrics);
+        // Decide keep-alive AFTER serving: a shutdown that lands while
+        // this request was in flight must close (and announce it) now.
+        let close =
+            last || request.wants_close() || stop.load(Ordering::SeqCst);
+        match served_infer {
+            Some((latency, images)) => metrics.record_served(latency, images),
+            None => metrics.record_status(response.status),
+        }
+        if response.write_to(&mut stream, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Answers a request-parse failure with the right status (or a quiet
+/// close for idle/io), always with `Connection: close`.
+fn respond_parse_error(stream: &mut TcpStream, metrics: &ServerMetrics, e: &ParseError) {
+    let response = match e {
+        ParseError::Idle | ParseError::Io(_) => return,
+        ParseError::Timeout => Response::text(408, "read deadline expired mid-request"),
+        ParseError::BadRequest(msg) => Response::text(400, format!("bad request: {msg}")),
+        ParseError::HeadersTooLarge => Response::text(431, "header block over limit"),
+        ParseError::BodyTooLarge => Response::text(413, "body over limit"),
+        ParseError::LengthRequired => Response::text(411, "content-length required"),
+        ParseError::VersionUnsupported(v) => {
+            Response::text(505, format!("only HTTP/1.1 is served, got {v}"))
+        }
+        ParseError::NotImplemented(what) => {
+            Response::text(501, format!("`{what}` is not implemented"))
+        }
+    };
+    metrics.record_status(response.status);
+    let _ = response.write_to(stream, true);
+}
+
+/// Dispatches one parsed request; a `200 /v1/infer` also returns the
+/// service latency and image count for metrics.
+fn route(
+    request: &Request,
+    session: &Arc<Session>,
+    metrics: &ServerMetrics,
+) -> (Response, Option<(Duration, usize)>) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/v1/infer") => infer(request, session),
+        ("GET", "/v1/infer") | ("HEAD", "/v1/infer") => {
+            (Response::text(405, "use POST").with_header("allow", "POST"), None)
+        }
+        ("GET", "/metrics") => (Response::text(200, render_metrics(session, metrics)), None),
+        (_, "/metrics") => {
+            (Response::text(405, "use GET").with_header("allow", "GET"), None)
+        }
+        ("GET", "/") | ("GET", "/healthz") => {
+            (Response::text(200, "ascend-http: ok"), None)
+        }
+        _ => (Response::text(404, format!("no route for {}", request.target)), None),
+    }
+}
+
+/// The `/metrics` body: server counters plus the pool's live gauges.
+fn render_metrics(session: &Arc<Session>, metrics: &ServerMetrics) -> String {
+    // The pool exists (bind() spawned it); a failure here means it could
+    // not spawn at all, which bind() already surfaced.
+    match session.runner() {
+        Ok(pool) => {
+            metrics.render(pool.queued(), pool.queue_capacity(), pool.in_flight(), pool.workers())
+        }
+        Err(e) => format!("# pool unavailable: {e}\n"),
+    }
+}
+
+/// Runs `POST /v1/infer`: decode, **non-blocking** admission, collect,
+/// encode. The admission policy is the whole point: `try_submit` answers
+/// a full queue with `503 Retry-After` immediately instead of blocking
+/// this socket thread until the pool drains.
+fn infer(
+    request: &Request,
+    session: &Arc<Session>,
+) -> (Response, Option<(Duration, usize)>) {
+    let vit = session.backend().vit_config();
+    let (patches, images) = match crate::decode_infer_request(&request.body, vit) {
+        Ok(decoded) => decoded,
+        Err(e) => return (Response::text(400, format!("bad payload: {e}")), None),
+    };
+    let pool = match session.runner() {
+        Ok(pool) => pool,
+        Err(e) => return (shed_response(&e), None),
+    };
+    let handle = match pool.try_submit(ServeRequest::new(patches, images)) {
+        Ok(handle) => handle,
+        Err(e @ (ScError::QueueFull { .. } | ScError::PoolGone)) => {
+            return (shed_response(&e), None)
+        }
+        Err(e) => return (Response::text(400, format!("rejected: {e}")), None),
+    };
+    match handle.collect() {
+        Ok((logits, latency)) => {
+            let body = crate::encode_logits(&logits, images, vit.classes);
+            (Response::binary(200, body), Some((latency, images)))
+        }
+        Err(ScError::PoolGone) => (shed_response(&ScError::PoolGone), None),
+        Err(e) => (Response::text(500, format!("inference failed: {e}")), None),
+    }
+}
+
+/// The `503 Retry-After` load-shedding response.
+fn shed_response(e: &ScError) -> Response {
+    Response::text(503, format!("shed: {e}")).with_header("retry-after", "1")
+}

@@ -1,0 +1,424 @@
+//! End-to-end contract of the HTTP front-end, over real sockets:
+//! protocol errors get the right status codes, keep-alive works and is
+//! capped, a full admission queue sheds with `503 Retry-After` instead of
+//! blocking, a dead pool answers `503` instead of hanging, graceful drain
+//! completes in-flight work, and `200` bodies are bit-identical to the
+//! in-process serial forward.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ascend::serve::ServeConfig;
+use ascend::{ForwardScratch, InferenceBackend, Session};
+use ascend_http::{client, HttpConfig, HttpServer};
+use ascend_tensor::Tensor;
+use ascend_vit::{PrecisionPlan, VitConfig};
+use sc_core::ScError;
+
+fn tiny_vit() -> VitConfig {
+    VitConfig { image: 8, patch: 4, dim: 16, layers: 1, heads: 2, classes: 2, ..Default::default() }
+}
+
+/// A controllable backend: `forward_one` blocks until the gate opens,
+/// then echoes `[sum, -sum]` of its input — tests hold the pool stalled
+/// to observe admission behavior, then open the gate to drain.
+struct GatedBackend {
+    cfg: VitConfig,
+    plan: PrecisionPlan,
+    gate: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl GatedBackend {
+    fn new(open: bool) -> Self {
+        GatedBackend {
+            cfg: tiny_vit(),
+            plan: PrecisionPlan::fp(),
+            gate: Mutex::new(open),
+            opened: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+}
+
+impl InferenceBackend for GatedBackend {
+    fn name(&self) -> &str {
+        "gated"
+    }
+    fn vit_config(&self) -> &VitConfig {
+        &self.cfg
+    }
+    fn plan(&self) -> &PrecisionPlan {
+        &self.plan
+    }
+    fn make_scratch(&self) -> ForwardScratch {
+        ForwardScratch::empty()
+    }
+    fn forward_one(
+        &self,
+        patches: &Tensor,
+        _scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.opened.wait(open).unwrap();
+        }
+        drop(open);
+        let sum: f32 = patches.data().iter().sum();
+        Ok(vec![sum, -sum])
+    }
+}
+
+/// A backend whose worker dies on first contact — for proving that a
+/// pool with no live workers surfaces `503`, never a hang.
+struct PanickingBackend {
+    cfg: VitConfig,
+    plan: PrecisionPlan,
+}
+
+impl InferenceBackend for PanickingBackend {
+    fn name(&self) -> &str {
+        "panicking"
+    }
+    fn vit_config(&self) -> &VitConfig {
+        &self.cfg
+    }
+    fn plan(&self) -> &PrecisionPlan {
+        &self.plan
+    }
+    fn make_scratch(&self) -> ForwardScratch {
+        ForwardScratch::empty()
+    }
+    fn forward_one(
+        &self,
+        _patches: &Tensor,
+        _scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        panic!("worker down (intentional, this test kills the pool)");
+    }
+}
+
+fn gated_server(
+    open: bool,
+    queue_depth: usize,
+    cfg: HttpConfig,
+) -> (HttpServer, Arc<GatedBackend>, Arc<Session>) {
+    let backend = Arc::new(GatedBackend::new(open));
+    let session = Arc::new(
+        Session::from_shared_backend(
+            Arc::clone(&backend) as Arc<dyn InferenceBackend>,
+            ServeConfig { workers: 1, micro_batch: 1, queue_depth },
+        )
+        .expect("session builds"),
+    );
+    let server = HttpServer::bind(Arc::clone(&session), cfg).expect("server binds");
+    (server, backend, session)
+}
+
+fn short_timeouts(mut cfg: HttpConfig) -> HttpConfig {
+    cfg.read_timeout = Duration::from_millis(300);
+    cfg.write_timeout = Duration::from_secs(2);
+    cfg
+}
+
+fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    stream.set_write_timeout(Some(Duration::from_secs(10))).expect("write timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (reader, stream)
+}
+
+/// One request's payload for the gated backend's geometry: `p × pd`
+/// scalars all equal to `v`, so the expected logits are `[v·p·pd, -v·p·pd]`.
+fn gated_payload(v: f32) -> Vec<u8> {
+    let cfg = tiny_vit();
+    let n = cfg.num_patches() * cfg.patch_dim();
+    ascend_http::encode_infer_request(&vec![v; n], 1)
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn keep_alive_reuses_a_connection_and_caps_it() {
+    let mut cfg = HttpConfig::new("127.0.0.1:0");
+    cfg.keep_alive_requests = 3;
+    let (server, _backend, _session) = gated_server(true, 4, cfg);
+    let (mut reader, mut writer) = connect(server.local_addr());
+
+    // Three requests ride one connection; the third hits the cap and the
+    // server announces the close.
+    for i in 0..3 {
+        client::write_request(&mut writer, "GET", "/healthz", &[], false).expect("write");
+        let response = client::read_response(&mut reader).expect("response");
+        assert_eq!(response.status, 200, "request {i}");
+        assert_eq!(response.wants_close(), i == 2, "request {i} close flag");
+    }
+    // The server hung up: the next read sees EOF, not a stall.
+    client::write_request(&mut writer, "GET", "/healthz", &[], false).ok();
+    assert!(client::read_response(&mut reader).is_err(), "connection must be closed");
+    server.join();
+}
+
+#[test]
+fn protocol_errors_get_typed_statuses() {
+    use std::io::Write;
+    let mut cfg = short_timeouts(HttpConfig::new("127.0.0.1:0"));
+    cfg.max_header_bytes = 256;
+    let (server, _backend, _session) = gated_server(true, 4, cfg);
+    let addr = server.local_addr();
+
+    // Malformed request line → 400.
+    let (mut reader, mut writer) = connect(addr);
+    writer.write_all(b"utter garbage\r\n\r\n").expect("write");
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 400);
+    assert!(response.wants_close());
+
+    // Header block over the limit → 431.
+    let (mut reader, mut writer) = connect(addr);
+    let big = "x".repeat(400);
+    writer
+        .write_all(format!("GET / HTTP/1.1\r\nbloat: {big}\r\n\r\n").as_bytes())
+        .expect("write");
+    assert_eq!(client::read_response(&mut reader).expect("response").status, 431);
+
+    // Wrong method on a real route → 405 with Allow.
+    let (mut reader, mut writer) = connect(addr);
+    client::write_request(&mut writer, "GET", "/v1/infer", &[], false).expect("write");
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("POST"));
+
+    // Unknown path → 404.
+    client::write_request(&mut writer, "POST", "/nope", &[], false).expect("write");
+    assert_eq!(client::read_response(&mut reader).expect("response").status, 404);
+
+    // HTTP/1.0 → 505.
+    let (mut reader, mut writer) = connect(addr);
+    writer.write_all(b"GET / HTTP/1.0\r\n\r\n").expect("write");
+    assert_eq!(client::read_response(&mut reader).expect("response").status, 505);
+
+    // Body over the limit → 413, rejected on the declared length alone.
+    let (mut reader, mut writer) = connect(addr);
+    writer
+        .write_all(b"POST /v1/infer HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n")
+        .expect("write");
+    assert_eq!(client::read_response(&mut reader).expect("response").status, 413);
+
+    // POST without content-length → 411.
+    let (mut reader, mut writer) = connect(addr);
+    writer.write_all(b"POST /v1/infer HTTP/1.1\r\n\r\n").expect("write");
+    assert_eq!(client::read_response(&mut reader).expect("response").status, 411);
+
+    // A malformed infer body on the happy route → 400, not a hang.
+    let (mut reader, mut writer) = connect(addr);
+    client::write_request(&mut writer, "POST", "/v1/infer", &[1, 2, 3], false).expect("write");
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 400);
+
+    server.join();
+}
+
+#[test]
+fn stalled_request_hits_the_read_deadline_with_408() {
+    use std::io::Write;
+    let cfg = short_timeouts(HttpConfig::new("127.0.0.1:0"));
+    let (server, _backend, _session) = gated_server(true, 4, cfg);
+    let (mut reader, mut writer) = connect(server.local_addr());
+    // A few bytes of a request line, then silence: the 300ms read
+    // deadline must expire and answer 408 — never hold the handler.
+    writer.write_all(b"POS").expect("write");
+    let started = Instant::now();
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 408);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline response took {:?}",
+        started.elapsed()
+    );
+    server.join();
+}
+
+#[test]
+fn full_queue_sheds_with_503_retry_after_and_drains_clean() {
+    // One pool worker, queue depth 1, gate closed: request A stalls the
+    // worker, B fills the queue, C must be shed immediately.
+    let (server, backend, session) =
+        gated_server(false, 1, HttpConfig::new("127.0.0.1:0"));
+    let addr = server.local_addr();
+    let pool = session.runner().expect("pool");
+
+    let (mut reader_a, mut writer_a) = connect(addr);
+    client::write_request(&mut writer_a, "POST", "/v1/infer", &gated_payload(1.0), false)
+        .expect("write A");
+    // A is admitted and picked up by the (stalled) worker.
+    wait_until("A in flight", Duration::from_secs(5), || pool.in_flight() == 1);
+
+    let (mut reader_b, mut writer_b) = connect(addr);
+    client::write_request(&mut writer_b, "POST", "/v1/infer", &gated_payload(2.0), false)
+        .expect("write B");
+    // B occupies the single queue slot.
+    wait_until("B queued", Duration::from_secs(5), || pool.queued() == 1);
+
+    // C: the queue is full — non-blocking admission must answer 503 with
+    // Retry-After *now*, while the pool is still wedged.
+    let (mut reader_c, mut writer_c) = connect(addr);
+    client::write_request(&mut writer_c, "POST", "/v1/infer", &gated_payload(3.0), false)
+        .expect("write C");
+    let started = Instant::now();
+    let shed = client::read_response(&mut reader_c).expect("C response");
+    assert_eq!(shed.status, 503, "full queue must shed");
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shedding took {:?}, admission must not block",
+        started.elapsed()
+    );
+
+    // Metrics are live mid-overload and see the queue.
+    let (mut reader_m, mut writer_m) = connect(addr);
+    client::write_request(&mut writer_m, "GET", "/metrics", &[], true).expect("write metrics");
+    let metrics = client::read_response(&mut reader_m).expect("metrics");
+    let text = String::from_utf8(metrics.body).expect("utf-8");
+    assert!(text.contains("ascend_queue_depth 1\n"), "{text}");
+    assert!(text.contains("ascend_queue_capacity 1\n"), "{text}");
+    assert!(text.contains("ascend_in_flight 1\n"), "{text}");
+    assert!(text.contains("ascend_http_shed_total 1\n"), "{text}");
+
+    // Open the gate: A and B were never dropped and complete with the
+    // right payloads, in order.
+    backend.open();
+    let n = tiny_vit().num_patches() * tiny_vit().patch_dim();
+    for (reader, v) in [(&mut reader_a, 1.0f32), (&mut reader_b, 2.0f32)] {
+        let response = client::read_response(reader).expect("drained response");
+        assert_eq!(response.status, 200);
+        let (images, classes, logits) =
+            ascend_http::decode_logits(&response.body).expect("logits decode");
+        assert_eq!((images, classes), (1, 2));
+        let want = v * n as f32;
+        assert_eq!(logits, vec![want, -want]);
+    }
+    server.join();
+}
+
+#[test]
+fn dead_pool_answers_503_never_hangs() {
+    let backend: Arc<dyn InferenceBackend> =
+        Arc::new(PanickingBackend { cfg: tiny_vit(), plan: PrecisionPlan::fp() });
+    let session = Arc::new(
+        Session::from_shared_backend(
+            backend,
+            ServeConfig { workers: 1, micro_batch: 1, queue_depth: 2 },
+        )
+        .expect("session builds"),
+    );
+    let server =
+        HttpServer::bind(Arc::clone(&session), HttpConfig::new("127.0.0.1:0")).expect("binds");
+    let addr = server.local_addr();
+
+    // First request kills the only worker mid-service; the reply channel
+    // drops and the response must be 503, not a hang.
+    let (mut reader, mut writer) = connect(addr);
+    client::write_request(&mut writer, "POST", "/v1/infer", &gated_payload(1.0), false)
+        .expect("write");
+    let started = Instant::now();
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 503, "dead worker must surface as 503");
+    assert!(started.elapsed() < Duration::from_secs(5));
+
+    // With zero live workers, later submits see the disconnected queue:
+    // still 503, still immediate.
+    let (mut reader, mut writer) = connect(addr);
+    client::write_request(&mut writer, "POST", "/v1/infer", &gated_payload(2.0), false)
+        .expect("write");
+    let response = client::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 503, "pool-gone must surface as 503");
+    assert_eq!(response.header("retry-after"), Some("1"));
+    server.join();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_work() {
+    let (server, backend, session) =
+        gated_server(false, 4, HttpConfig::new("127.0.0.1:0"));
+    let addr = server.local_addr();
+    let pool = session.runner().expect("pool");
+
+    let (mut reader, mut writer) = connect(addr);
+    client::write_request(&mut writer, "POST", "/v1/infer", &gated_payload(5.0), false)
+        .expect("write");
+    wait_until("request in flight", Duration::from_secs(5), || pool.in_flight() == 1);
+
+    // Shutdown lands while the request is mid-service; the drain must
+    // still deliver its response before the connection closes.
+    let handle = server.shutdown_handle();
+    handle.shutdown();
+    assert!(handle.is_shutdown());
+    backend.open();
+    let response = client::read_response(&mut reader).expect("drained response");
+    assert_eq!(response.status, 200, "in-flight work must complete through drain");
+    assert!(response.wants_close(), "drain responses announce the close");
+    server.join();
+
+    // And the listener is really gone.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn http_logits_are_bit_identical_to_the_serial_forward() {
+    use ascend::engine::EngineConfig;
+    use ascend::fixture::{engine_or_load, FixtureRecipe};
+
+    let mut recipe = FixtureRecipe::tiny("http-tiny", 5);
+    recipe.n_train = 48;
+    recipe.n_test = 24;
+    recipe.pre_epochs = 2;
+    recipe.qat_epochs = 0;
+    let (engine, _train, test) =
+        engine_or_load(&recipe, EngineConfig::default()).expect("tiny engine compiles");
+    let engine = Arc::new(engine);
+
+    let n = 3usize;
+    let patches = test.patches(&(0..n).collect::<Vec<_>>(), 4);
+    let serial = engine.forward(&patches, n).expect("serial forward");
+    let classes = engine.vit_config().classes;
+    let expected = ascend_http::encode_logits(&serial, n, classes);
+
+    let session = Arc::new(
+        Session::from_shared_backend(
+            Arc::clone(&engine) as Arc<dyn InferenceBackend>,
+            ServeConfig { workers: 2, micro_batch: 4, queue_depth: 8 },
+        )
+        .expect("session builds"),
+    );
+    let server =
+        HttpServer::bind(Arc::clone(&session), HttpConfig::new("127.0.0.1:0")).expect("binds");
+    let payload = ascend_http::encode_infer_request(patches.data(), n);
+
+    // Twice over one keep-alive connection: byte-for-byte the serial
+    // logits, both times — the wire adds nothing and loses nothing.
+    let (mut reader, mut writer) = connect(server.local_addr());
+    for round in 0..2 {
+        client::write_request(&mut writer, "POST", "/v1/infer", &payload, false).expect("write");
+        let response = client::read_response(&mut reader).expect("response");
+        assert_eq!(response.status, 200, "round {round}");
+        assert_eq!(
+            response.body, expected,
+            "round {round}: HTTP logits differ from the serial forward bytes"
+        );
+    }
+    server.join();
+}

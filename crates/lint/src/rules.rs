@@ -87,9 +87,11 @@ pub fn crate_of(rel_path: &str) -> String {
     }
 }
 
-/// Hot-path modules: the serving/backend/engine forward files plus every
-/// `sc-*` kernel crate — the code the bit-identical-output and
-/// fail-closed-artifact guarantees flow through.
+/// Hot-path modules: the serving/backend/engine forward files, every
+/// `sc-*` kernel crate, and the HTTP front-end (`ascend-http` library
+/// code — a panic there kills a socket thread or the listener, so it is
+/// held to the same deny-class bar; the `loadgen` bin is tooling, like
+/// the CLI, and rides the ratchet instead).
 fn in_hot_path(rel: &str) -> bool {
     matches!(
         rel,
@@ -100,6 +102,7 @@ fn in_hot_path(rel: &str) -> bool {
     ) || rel.starts_with("crates/sc-core/src/")
         || rel.starts_with("crates/sc-nonlinear/src/")
         || rel.starts_with("crates/sc-hw/src/")
+        || (rel.starts_with("crates/http/src/") && !rel.starts_with("crates/http/src/bin/"))
 }
 
 /// Crates whose outputs must be bit-identical across runs and worker
@@ -117,10 +120,13 @@ fn in_io_scope(rel: &str) -> bool {
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: every `lib.rs`
-/// and `main.rs` under `crates/*/src`, and every top-level bin/lib file of
-/// the `examples` crate.
+/// and `main.rs` under `crates/*/src`, every extra binary under
+/// `crates/*/src/bin/` (each is its own crate root — the attribute on
+/// `lib.rs` does not cover it), and every top-level bin/lib file of the
+/// `examples` crate.
 fn is_crate_root(rel: &str) -> bool {
     (rel.starts_with("crates/") && (rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs")))
+        || (rel.starts_with("crates/") && rel.contains("/src/bin/") && rel.ends_with(".rs"))
         || (rel.starts_with("examples/") && rel.ends_with(".rs") && rel.matches('/').count() == 1)
 }
 
@@ -347,6 +353,28 @@ mod tests {
         assert_eq!(vs[0].rule, NO_PANIC_HOT);
         assert_eq!(vs[0].line, 1);
         assert!(!is_ratcheted(NO_PANIC_HOT));
+    }
+
+    #[test]
+    fn http_library_code_is_hot_path_but_loadgen_is_not() {
+        // A panic in the HTTP front-end kills a socket thread: the whole
+        // `ascend-http` library is deny-class. The loadgen bin is tooling
+        // and stays on the ratchet, but — being its own crate root — it
+        // must carry `#![forbid(unsafe_code)]` itself.
+        let src = "fn f() { x.unwrap(); }";
+        for file in ["crates/http/src/server.rs", "crates/http/src/http1.rs"] {
+            let vs = lint_source(file, src);
+            assert_eq!(vs.len(), 1, "{file}");
+            assert_eq!(vs[0].rule, NO_PANIC_HOT, "{file}");
+        }
+        let vs = lint_source("crates/http/src/bin/loadgen.rs", src);
+        assert_eq!(vs.iter().filter(|v| v.rule == NO_PANIC_LIB).count(), 1);
+        assert_eq!(vs.iter().filter(|v| v.rule == MISSING_FORBID_UNSAFE).count(), 1);
+        let clean = lint_source(
+            "crates/http/src/bin/loadgen.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}",
+        );
+        assert!(clean.is_empty());
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub enum ScError {
         /// the error type stays `Clone + PartialEq`).
         reason: String,
     },
+    /// A bounded admission queue is at capacity and the caller asked not
+    /// to block (`try_submit`). The request was **not** enqueued; retry
+    /// later or shed the load (an HTTP front-end maps this to `503`).
+    QueueFull {
+        /// The queue's configured capacity, in requests.
+        depth: usize,
+    },
+    /// The serving pool has no live workers: every worker exited (pool
+    /// shut down) or panicked. Submissions can never complete.
+    PoolGone,
 }
 
 impl fmt::Display for ScError {
@@ -71,6 +81,12 @@ impl fmt::Display for ScError {
             ScError::Io { path, reason } => {
                 write!(f, "i/o failure on `{path}`: {reason}")
             }
+            ScError::QueueFull { depth } => {
+                write!(f, "admission queue full ({depth} requests waiting); retry later")
+            }
+            ScError::PoolGone => {
+                write!(f, "serve pool has no live workers (worker thread panicked or pool shut down)")
+            }
         }
     }
 }
@@ -89,6 +105,8 @@ mod tests {
             ScError::InvalidParam { name: "len", reason: "must be even".into() },
             ScError::CorruptArtifact { reason: "crc mismatch".into() },
             ScError::Io { path: "model.ckpt".into(), reason: "permission denied".into() },
+            ScError::QueueFull { depth: 8 },
+            ScError::PoolGone,
         ];
         for c in cases {
             let s = c.to_string();

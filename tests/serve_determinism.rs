@@ -305,6 +305,138 @@ fn full_queue_blocks_submitters_without_dropping_or_reordering() {
 }
 
 #[test]
+fn try_submit_sheds_on_a_full_queue_and_the_gauges_track_it() {
+    let backend = Arc::new(GatedBackend::new());
+    let (p, pd) = (backend.cfg.num_patches(), backend.cfg.patch_dim());
+    let make = |v: f32| ServeRequest::new(Tensor::from_vec(vec![v; p * pd], &[p, pd]), 1);
+    // On timeout, open the gate BEFORE panicking: the pool's Drop joins
+    // its worker, and a worker parked on a closed gate would turn a test
+    // failure into a deadlock.
+    let wait_until = |what: &str, mut done: Box<dyn FnMut() -> bool + '_>| {
+        let start = std::time::Instant::now();
+        while !done() {
+            if start.elapsed() >= std::time::Duration::from_secs(5) {
+                backend.open();
+                panic!("timed out waiting for {what}");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    let pool = ServePool::new(
+        Arc::clone(&backend),
+        ServeConfig { workers: 1, micro_batch: 1, queue_depth: 1 },
+    )
+    .expect("pool builds");
+    assert_eq!(pool.queue_capacity(), 1);
+
+    // A is admitted and picked up by the gated (stalled) worker; B fills
+    // the single queue slot.
+    let a = pool.try_submit(make(1.0)).expect("A admitted");
+    wait_until("A in flight", Box::new(|| pool.in_flight() == 1));
+    let b = pool.try_submit(make(2.0)).expect("B queued");
+    wait_until("B queued", Box::new(|| pool.queued() == 1));
+
+    // C must be shed *now*, with the typed error — never block, never
+    // enqueue. (`submit` would block here; that contract is proved by
+    // `full_queue_blocks_submitters_without_dropping_or_reordering`.)
+    match pool.try_submit(make(3.0)) {
+        Err(ScError::QueueFull { depth }) => assert_eq!(depth, 1),
+        other => {
+            backend.open(); // never leave the pool wedged on a failure
+            panic!(
+                "full queue must shed with QueueFull, got {:?}",
+                other.map(|_| "an admitted handle")
+            );
+        }
+    }
+
+    // Drain: A and B were untouched by the shed, in order and intact.
+    backend.open();
+    for (handle, v) in [(a, 1.0f32), (b, 2.0f32)] {
+        let (logits, _) = handle.collect().expect("collect");
+        let want = v * (p * pd) as f32;
+        assert_eq!(logits.data(), &[want, -want], "request {v} dropped or corrupted");
+    }
+    wait_until("gauges drain to zero", Box::new(|| pool.queued() == 0 && pool.in_flight() == 0));
+
+    // The shed request was never enqueued: the drained pool serves again.
+    let (logits, _) = pool.try_submit(make(4.0)).expect("post-drain admit").collect().expect("ok");
+    assert_eq!(logits.data()[0], 4.0 * (p * pd) as f32);
+    pool.shutdown();
+}
+
+/// A backend whose worker dies on first contact, for the pool-loss path.
+struct PanickingBackend {
+    cfg: VitConfig,
+    plan: PrecisionPlan,
+}
+
+impl InferenceBackend for PanickingBackend {
+    fn name(&self) -> &str {
+        "panicking"
+    }
+    fn vit_config(&self) -> &VitConfig {
+        &self.cfg
+    }
+    fn plan(&self) -> &PrecisionPlan {
+        &self.plan
+    }
+    fn make_scratch(&self) -> ForwardScratch {
+        ForwardScratch::empty()
+    }
+    fn forward_one(
+        &self,
+        _patches: &Tensor,
+        _scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        panic!("worker down (intentional, this test kills the pool)");
+    }
+}
+
+#[test]
+fn worker_loss_surfaces_pool_gone_instead_of_hanging() {
+    let gated = GatedBackend::new(); // only for its VitConfig geometry
+    let (p, pd) = (gated.cfg.num_patches(), gated.cfg.patch_dim());
+    let make = |v: f32| ServeRequest::new(Tensor::from_vec(vec![v; p * pd], &[p, pd]), 1);
+    let backend = Arc::new(PanickingBackend { cfg: gated.cfg, plan: PrecisionPlan::fp() });
+    let pool = ServePool::new(
+        backend,
+        ServeConfig { workers: 1, micro_batch: 1, queue_depth: 1 },
+    )
+    .expect("pool builds");
+
+    // The first request kills the only worker; its dropped reply channel
+    // must surface as the typed pool-gone error, not a hang.
+    let handle = pool.submit(make(1.0)).expect("first submit is admitted");
+    let err = handle.collect().map(|_| ()).unwrap_err();
+    assert!(matches!(err, ScError::PoolGone), "got {err:?}");
+
+    // Once the dead worker's queue handle is gone, both admission paths
+    // answer PoolGone promptly. The unwind races us, so poll briefly: an
+    // `Ok` admission just means the queue still looked open — collecting
+    // it must itself report PoolGone, never block.
+    let start = std::time::Instant::now();
+    loop {
+        match pool.try_submit(make(2.0)) {
+            Err(ScError::PoolGone) => break,
+            Err(other) => panic!("expected PoolGone, got {other:?}"),
+            Ok(handle) => {
+                let err = handle.collect().map(|_| ()).unwrap_err();
+                assert!(matches!(err, ScError::PoolGone), "got {err:?}");
+            }
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "try_submit after worker loss never reported PoolGone"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let err = pool.submit(make(3.0)).map(|_| ()).unwrap_err();
+    assert!(matches!(err, ScError::PoolGone), "blocking submit must error too, got {err:?}");
+    pool.shutdown();
+}
+
+#[test]
 fn forward_one_composes_to_batched_forward() {
     let (engine, test) = tiny_engine();
     let idx: Vec<usize> = (0..5).collect();
