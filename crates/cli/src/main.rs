@@ -62,6 +62,13 @@ SUBCOMMANDS:
              --port-file PATH (write the bound address for scripts)
              --duration-secs 0 (0 = run until killed; otherwise drain
              gracefully after that many seconds)
+    profile  Per-stage timing breakdown of the forward pass
+             --engine PATH (required; engine artifact, or checkpoint)
+             --backend sc|ref (sc)  --images 16  --batch 4
+             --data-seed 7  [--fault-rate 0.0]  [--fault-seed 7]
+             Runs instrumented forwards and prints patch-embed /
+             attention / softmax / GELU / MLP / head timings
+             (observation is bit-neutral: same logits as the bare run)
     info     Describe any artifact file
              --path PATH (required)
 ";
@@ -85,6 +92,7 @@ fn run(args: &[String]) -> i32 {
         "compile" => cmd_compile(flags),
         "eval" => cmd_eval(flags),
         "serve" => cmd_serve(flags),
+        "profile" => cmd_profile(flags),
         "info" => cmd_info(flags),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     });
@@ -517,6 +525,76 @@ fn cmd_serve_http(flags: Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `profile`: run instrumented forwards and print the per-stage table.
+///
+/// The instrumented backend is the *same computation* as the bare one —
+/// stage observation carries no data and never touches the math — so the
+/// command also proves it, comparing instrumented logits bit-for-bit
+/// against an uninstrumented forward of the same session's backend.
+fn cmd_profile(flags: Flags) -> Result<(), CliError> {
+    use ascend::StageStats;
+    use std::sync::Arc;
+
+    let engine_path = PathBuf::from(flags.require("engine")?);
+    let backend = parse_backend(&flags)?;
+    let images: usize = flags.get_parsed("images", 16)?;
+    let batch: usize = flags.get_parsed("batch", 4)?;
+    let data_seed: u64 = flags.get_parsed("data-seed", 7)?;
+    let fault_rate: f64 = flags.get_parsed("fault-rate", 0.0)?;
+    let fault_seed: u64 = flags.get_parsed("fault-seed", 7)?;
+    flags.reject_unknown()?;
+    if images == 0 || batch == 0 {
+        return Err(CliError::Usage("--images and --batch must be non-zero".into()));
+    }
+    let fault_requested = flags.get("fault-rate").is_some();
+    if !fault_requested && flags.get("fault-seed").is_some() {
+        return Err(CliError::Usage("--fault-seed has no effect without --fault-rate".into()));
+    }
+
+    let stats = Arc::new(StageStats::new());
+    let mut builder = Session::builder()
+        .artifact(&engine_path)
+        .backend(backend)
+        .instrument(Arc::clone(&stats));
+    let mut bare = Session::builder().artifact(&engine_path).backend(backend);
+    if fault_requested {
+        builder = builder.fault(fault_rate, fault_seed);
+        bare = bare.fault(fault_rate, fault_seed);
+    }
+    let session = builder.build()?;
+    let bare = bare.build()?;
+    let cfg = *session.backend().vit_config();
+    let (_, test) = synth_cifar(cfg.classes, 1, images, cfg.image, data_seed);
+    let idx: Vec<usize> = (0..images).collect();
+    let mut identical = true;
+    for chunk in idx.chunks(batch) {
+        let patches = test.patches(chunk, cfg.patch);
+        let instrumented = session.forward(&patches, chunk.len())?;
+        let reference = bare.forward(&patches, chunk.len())?;
+        identical &= instrumented
+            .data()
+            .iter()
+            .zip(reference.data().iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+
+    println!(
+        "profiled {} forwards on the `{}` backend ({images} images, batch {batch}):",
+        stats.forwards(),
+        session.backend().name(),
+    );
+    println!();
+    print!("{}", stats.table());
+    println!();
+    println!("bit-identical to uninstrumented forward: {identical}");
+    if !identical {
+        return Err(CliError::Runtime(
+            "instrumented forward diverged from the bare forward".into(),
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_info(flags: Flags) -> Result<(), CliError> {
     let path = PathBuf::from(flags.require("path")?);
     flags.reject_unknown()?;
@@ -730,6 +808,26 @@ mod tests {
         let orphan_seed =
             ["eval", "--engine", &eng, "--fault-seed", "9"].map(String::from);
         assert_eq!(run(&orphan_seed), 2, "--fault-seed without --fault-rate must be usage error");
+
+        // Per-stage profiling: the command itself enforces bit identity
+        // between the instrumented and bare forwards before exiting 0.
+        let profile =
+            ["profile", "--engine", &eng, "--images", "4", "--batch", "2"].map(String::from);
+        assert_eq!(run(&profile), 0, "profile failed");
+
+        // Profiling composes with the fault decorator and with the ref
+        // backend compiled from a checkpoint.
+        let profile_fault = [
+            "profile", "--engine", &eng, "--images", "2", "--batch", "2",
+            "--fault-rate", "0.01",
+        ]
+        .map(String::from);
+        assert_eq!(run(&profile_fault), 0, "profile --fault-rate failed");
+        let profile_ref = [
+            "profile", "--engine", &ckpt, "--backend", "ref", "--images", "2", "--batch", "2",
+        ]
+        .map(String::from);
+        assert_eq!(run(&profile_ref), 0, "profile --backend ref failed");
 
         let serve = [
             "serve", "--engine", &eng, "--requests", "3", "--images", "2", "--workers", "2",

@@ -26,6 +26,7 @@
 //! the thing the parallel/serial bit-identity contract of [`crate::serve`]
 //! rests on — exists exactly once.
 
+use ascend_obs::{Stage, StageObserver};
 use ascend_tensor::Tensor;
 use ascend_vit::norm::Norm;
 use ascend_vit::{NormKind, VitModel};
@@ -99,6 +100,34 @@ pub trait InferenceBackend: Send + Sync {
         scratch: &mut ForwardScratch,
     ) -> Result<Vec<f32>, ScError> {
         self.forward_one(&patches, scratch)
+    }
+
+    /// [`InferenceBackend::forward_one`] with stage-boundary events.
+    ///
+    /// The engine backends emit clock-free [`StageObserver`] `enter`/`exit`
+    /// events around each forward stage (patch-embed, attention, softmax,
+    /// GELU, MLP, head); the *observer* — not the compute code — decides
+    /// what the events mean (the sanctioned [`ascend_obs::StageTimer`]
+    /// turns them into durations). The default ignores the observer and
+    /// delegates, so backends without stage structure (and decorators that
+    /// merely forward) stay correct.
+    ///
+    /// Overrides must stay **bit-identical** to
+    /// [`InferenceBackend::forward_one`] on the same input — observation
+    /// must never change the computation (the determinism suite enforces
+    /// this).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceBackend::forward_one`].
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
+    ) -> Result<Vec<f32>, ScError> {
+        let _ = observer;
+        self.forward_one(patches, scratch)
     }
 
     /// [`InferenceBackend::forward`] with caller-provided scratch — the
@@ -206,6 +235,14 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for &B {
     ) -> Result<Vec<f32>, ScError> {
         (**self).forward_one_owned(patches, scratch)
     }
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_observed(patches, scratch, observer)
+    }
 }
 
 impl<B: InferenceBackend + ?Sized> InferenceBackend for Box<B> {
@@ -234,6 +271,51 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for Box<B> {
         scratch: &mut ForwardScratch,
     ) -> Result<Vec<f32>, ScError> {
         (**self).forward_one_owned(patches, scratch)
+    }
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_observed(patches, scratch, observer)
+    }
+}
+
+impl<B: InferenceBackend + ?Sized> InferenceBackend for std::sync::Arc<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn vit_config(&self) -> &ascend_vit::VitConfig {
+        (**self).vit_config()
+    }
+    fn plan(&self) -> &ascend_vit::PrecisionPlan {
+        (**self).plan()
+    }
+    fn make_scratch(&self) -> ForwardScratch {
+        (**self).make_scratch()
+    }
+    fn forward_one(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one(patches, scratch)
+    }
+    fn forward_one_owned(
+        &self,
+        patches: Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_owned(patches, scratch)
+    }
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
+    ) -> Result<Vec<f32>, ScError> {
+        (**self).forward_one_observed(patches, scratch, observer)
     }
 }
 
@@ -347,17 +429,29 @@ impl InferenceBackend for RefEngine {
     fn forward_one(
         &self,
         patches: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Vec<f32>, ScError> {
+        self.forward_one_observed(patches, scratch, &mut ascend_obs::NoopObserver)
+    }
+
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
         _scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
     ) -> Result<Vec<f32>, ScError> {
         let cfg = &self.vit;
         let plan = &self.plan;
         let (s, d, h, dh) = (cfg.seq_len(), cfg.dim, cfg.heads, cfg.head_dim());
 
+        observer.enter(Stage::PatchEmbed);
         let tokens = linear(patches, &self.patch_embed.w, &self.patch_embed.b);
         let mut x = assemble_sequence(&tokens, &self.cls_token, &self.pos_embedding, 1, cfg);
+        observer.exit(Stage::PatchEmbed);
 
         for lp in &self.layers {
             // --- MSA with exact float softmax ---
+            observer.enter(Stage::Attention);
             let n1 = affine(&x, &lp.norm1_affine);
             let xq = fake_quant(&n1, lp.attn_in_step, plan.acts);
             let q = split_heads(&linear(&xq, &lp.q.w, &lp.q.b), 1, s, h, dh);
@@ -365,28 +459,39 @@ impl InferenceBackend for RefEngine {
             let v = split_heads(&linear(&xq, &lp.v.w, &lp.v.b), 1, s, h, dh);
             let scores =
                 q.batched_matmul(&k.batched_transpose()).scale(1.0 / (dh as f32).sqrt());
+            observer.exit(Stage::Attention);
+            observer.enter(Stage::Softmax);
             let probs = scores.softmax_last();
+            observer.exit(Stage::Softmax);
+            observer.enter(Stage::Attention);
             let ctx = merge_heads(&probs.batched_matmul(&v), 1, s, h, dh);
             let ctxq = fake_quant(&ctx, lp.attn_out_step, plan.acts);
             let attn_out = linear(&ctxq, &lp.proj.w, &lp.proj.b);
             x = fake_quant(&x.add(&attn_out), lp.res1_step, plan.residual);
+            observer.exit(Stage::Attention);
 
             // --- MLP with float GELU, fake-quantized at the mid site ---
+            observer.enter(Stage::Mlp);
             let n2 = affine(&x, &lp.norm2_affine);
             let hq = fake_quant(&n2, lp.mlp_in_step, plan.acts);
             let pre = linear(&hq, &lp.fc1.w, &lp.fc1.b);
-            let act = fake_quant(
-                &pre.map(ascend_tensor::graph::gelu_f),
-                lp.mlp_mid_step,
-                plan.acts,
-            );
+            observer.exit(Stage::Mlp);
+            observer.enter(Stage::Gelu);
+            let gelu = pre.map(ascend_tensor::graph::gelu_f);
+            observer.exit(Stage::Gelu);
+            observer.enter(Stage::Mlp);
+            let act = fake_quant(&gelu, lp.mlp_mid_step, plan.acts);
             let out = linear(&act, &lp.fc2.w, &lp.fc2.b);
             x = fake_quant(&x.add(&out), lp.res2_step, plan.residual);
+            observer.exit(Stage::Mlp);
         }
 
+        observer.enter(Stage::Head);
         let hn = affine(&x, &self.head_affine);
         let cls = hn.reshape(&[1, s, d]).select_axis1(0);
-        Ok(linear(&cls, &self.head.w, &self.head.b).into_data())
+        let logits = linear(&cls, &self.head.w, &self.head.b).into_data();
+        observer.exit(Stage::Head);
+        Ok(logits)
     }
 }
 
@@ -556,6 +661,23 @@ impl<B: InferenceBackend> InferenceBackend for FaultInjectingBackend<B> {
         }
         self.perturb_in_place(&mut patches);
         self.inner.forward_one_owned(patches, scratch)
+    }
+
+    fn forward_one_observed(
+        &self,
+        patches: &Tensor,
+        scratch: &mut ForwardScratch,
+        observer: &mut dyn StageObserver,
+    ) -> Result<Vec<f32>, ScError> {
+        if self.rate == 0.0 {
+            // Bit-identity contract: rate 0 never touches the input.
+            return self.inner.forward_one_observed(patches, scratch, observer);
+        }
+        // Same fault universe as the unobserved paths: the RNG stream is
+        // keyed on the pre-fault bits, never on the entry point taken.
+        let mut owned = patches.clone();
+        self.perturb_in_place(&mut owned);
+        self.inner.forward_one_observed(&owned, scratch, observer)
     }
 }
 

@@ -68,6 +68,7 @@ pub mod artifact;
 pub mod backend;
 pub mod engine;
 pub mod fixture;
+pub mod instrument;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
@@ -76,8 +77,10 @@ pub mod session;
 pub use accelerator::{AcceleratorConfig, AcceleratorModel};
 pub use backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
 pub use engine::{EngineConfig, ForwardScratch, ScEngine};
+pub use instrument::{InstrumentedBackend, StageStats};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
 pub use serve::{
-    BatchRunner, ServeConfig, ServeHandle, ServeOutcome, ServePool, ServeReport, ServeRequest,
+    BatchRunner, JobTiming, PoolObs, ServeConfig, ServeHandle, ServeOutcome, ServePool,
+    ServeReport, ServeRequest,
 };
 pub use session::{BackendKind, Session, SessionBuilder};

@@ -58,10 +58,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ascend_obs::{Histogram, Registry, TraceBuffer, TraceId};
 use ascend_tensor::Tensor;
 use sc_core::ScError;
 
 use crate::backend::InferenceBackend;
+
+/// Spans retained by the pool's trace ring (two spans — queue-wait and
+/// service — per request, so this covers the last ~2048 requests).
+pub const TRACE_SPAN_CAPACITY: usize = 4096;
 
 /// Runtime knobs of the [`ServePool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,12 +123,22 @@ pub struct ServeRequest {
     pub patches: Tensor,
     /// Number of images in `patches`.
     pub images: usize,
+    /// Trace id minted at admission (the HTTP handler or CLI entry); when
+    /// `None`, the pool mints one at submit so every job is attributable.
+    pub trace: Option<TraceId>,
 }
 
 impl ServeRequest {
     /// Wraps a patch tensor as a request.
     pub fn new(patches: Tensor, images: usize) -> Self {
-        ServeRequest { patches, images }
+        ServeRequest { patches, images, trace: None }
+    }
+
+    /// Tags the request with a trace id minted at admission, so the spans
+    /// the pool records for it are attributable to the original request.
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
+        self
     }
 }
 
@@ -138,27 +153,47 @@ pub struct ServeOutcome {
 }
 
 /// Latency/throughput metrics of one serving run.
+///
+/// Service latencies and queue waits are tracked *separately*: a request's
+/// wall time is `queue_wait + service`, and conflating the two (as early
+/// versions did) makes backend cost look inflated exactly when the queue is
+/// backed up — the moment the split matters most.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     latencies: Vec<Duration>,
+    queue_waits: Vec<Duration>,
     wall: Duration,
     images: usize,
     workers: usize,
 }
 
 impl ServeReport {
-    /// Assembles a report from raw parts: per-request latencies, the
-    /// run's wall clock, total images, and the worker count that served
+    /// Assembles a report from raw parts: per-request service latencies,
+    /// the run's wall clock, total images, and the worker count that served
     /// it. This is how front-ends that collect their own timings (the
     /// `ascend-http` `/metrics` exporter, the loadgen binary) reuse the
     /// percentile/throughput/summary machinery instead of re-deriving it.
+    /// Queue waits are empty; use [`ServeReport::from_split_parts`] when
+    /// the caller also measured time-in-queue.
     pub fn from_parts(
         latencies: Vec<Duration>,
         wall: Duration,
         images: usize,
         workers: usize,
     ) -> Self {
-        ServeReport { latencies, wall, images, workers }
+        ServeReport { latencies, queue_waits: Vec::new(), wall, images, workers }
+    }
+
+    /// [`ServeReport::from_parts`] with the queue-wait split: one queue
+    /// wait per request, index-aligned with `latencies`.
+    pub fn from_split_parts(
+        latencies: Vec<Duration>,
+        queue_waits: Vec<Duration>,
+        wall: Duration,
+        images: usize,
+        workers: usize,
+    ) -> Self {
+        ServeReport { latencies, queue_waits, wall, images, workers }
     }
 
     /// Number of requests served.
@@ -188,6 +223,14 @@ impl ServeReport {
         &self.latencies
     }
 
+    /// Per-request queue waits (admission to worker claim), in request
+    /// order and index-aligned with [`ServeReport::latencies`]. Empty when
+    /// the report was assembled without the split
+    /// ([`ServeReport::from_parts`]).
+    pub fn queue_waits(&self) -> &[Duration] {
+        &self.queue_waits
+    }
+
     /// Aggregate throughput in images per second.
     ///
     /// An empty run (zero images) reports `0.0`. A wall clock too short to
@@ -212,19 +255,22 @@ impl ServeReport {
     /// NaN `p` returns [`Duration::ZERO`] (there is no meaningful rank to
     /// ask for). Never panics.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        if self.latencies.is_empty() || p.is_nan() {
-            return Duration::ZERO;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort();
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        nearest_rank(&self.latencies, p)
+    }
+
+    /// Nearest-rank queue-wait percentile, with the same totality contract
+    /// as [`ServeReport::latency_percentile`]. A report without the split
+    /// (empty queue waits) returns [`Duration::ZERO`] for every `p`.
+    pub fn queue_wait_percentile(&self, p: f64) -> Duration {
+        nearest_rank(&self.queue_waits, p)
     }
 
     /// One-line human-readable summary. An unmeasurably short wall prints
-    /// `inf images/s` (see [`ServeReport::throughput`]), never `0.0`.
+    /// `inf images/s` (see [`ServeReport::throughput`]), never `0.0`. When
+    /// the queue-wait split is available it is appended, so backpressure is
+    /// visible next to the service latencies it would otherwise hide in.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} images / {} requests on {} workers in {:.1} ms — {:.1} images/s \
              (latency p50 {:.2} ms, p95 {:.2} ms, max {:.2} ms)",
             self.images,
@@ -235,8 +281,30 @@ impl ServeReport {
             self.latency_percentile(50.0).as_secs_f64() * 1e3,
             self.latency_percentile(95.0).as_secs_f64() * 1e3,
             self.latency_percentile(100.0).as_secs_f64() * 1e3,
-        )
+        );
+        if !self.queue_waits.is_empty() {
+            line.push_str(&format!(
+                " (queue wait p50 {:.2} ms, p95 {:.2} ms)",
+                self.queue_wait_percentile(50.0).as_secs_f64() * 1e3,
+                self.queue_wait_percentile(95.0).as_secs_f64() * 1e3,
+            ));
+        }
+        line
     }
+}
+
+/// Nearest-rank percentile over unsorted samples. Total on every input:
+/// empty samples or NaN `p` return [`Duration::ZERO`], `p <= 0` the
+/// minimum, `p >= 100` the maximum.
+fn nearest_rank(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() || p.is_nan() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or(Duration::ZERO)
 }
 
 /// The historical name of the serving entry point. Since the persistent
@@ -245,17 +313,96 @@ impl ServeReport {
 /// batch-oriented name working.
 pub type BatchRunner<B = crate::engine::ScEngine> = ServePool<B>;
 
-/// One queued unit of work: an owned request plus its reply channel.
+/// The two-way timing split of one served request.
+///
+/// `queue_wait` runs from admission (the queue `send`) to the moment a
+/// worker claims the job; `service` is the time that worker spent in the
+/// backend forward. End-to-end request latency is their sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobTiming {
+    /// Admission → worker claim.
+    pub queue_wait: Duration,
+    /// Worker claim → reply (the backend forward).
+    pub service: Duration,
+}
+
+impl JobTiming {
+    /// End-to-end latency: `queue_wait + service`.
+    pub fn total(&self) -> Duration {
+        self.queue_wait.saturating_add(self.service)
+    }
+}
+
+/// One queued unit of work: an owned request plus its reply channel and
+/// the admission bookkeeping (trace id, submit instant) the worker needs
+/// to attribute and split its timing.
 struct Job {
     patches: Tensor,
     images: usize,
+    trace: TraceId,
+    submitted: Instant,
     reply: SyncSender<Served>,
 }
 
 /// What a worker sends back for one job.
 struct Served {
     result: Result<Tensor, ScError>,
-    latency: Duration,
+    timing: JobTiming,
+}
+
+/// Pool-owned observability state: the queue-wait/service histograms every
+/// worker records into (rendered under `/metrics`) and the bounded span
+/// ring behind `GET /debug/trace`.
+///
+/// Spans are recorded only for jobs a worker actually claimed — a request
+/// refused at admission ([`ScError::QueueFull`]) never reaches the ring,
+/// so shed traffic cannot leak spans.
+pub struct PoolObs {
+    registry: Registry,
+    trace: TraceBuffer,
+    queue_wait: Arc<Histogram>,
+    service: Arc<Histogram>,
+}
+
+impl PoolObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let queue_wait = registry.histogram(
+            "ascend_request_queue_wait_seconds",
+            "Time a request spent admitted but unclaimed in the pool queue.",
+        );
+        let service = registry.histogram(
+            "ascend_request_service_seconds",
+            "Time a worker spent serving a request (backend forward only).",
+        );
+        PoolObs {
+            registry,
+            trace: TraceBuffer::new(TRACE_SPAN_CAPACITY),
+            queue_wait,
+            service,
+        }
+    }
+
+    /// The bounded span ring (chrome://tracing export via
+    /// [`TraceBuffer::to_chrome_json`]).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Queue-wait histogram across all served requests.
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
+    }
+
+    /// Service-time histogram across all served requests.
+    pub fn service(&self) -> &Histogram {
+        &self.service
+    }
+
+    /// Prometheus text for the pool's histograms.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
 }
 
 /// The pool's submission side: bounded (backpressure) or unbounded.
@@ -328,17 +475,17 @@ impl ServeHandle {
     }
 
     /// Blocks until the request has been served, returning its logits and
-    /// the service latency (time a worker spent on it, excluding queue
-    /// wait).
+    /// the request's [`JobTiming`] — queue wait and service time,
+    /// separately, so backpressure never masquerades as backend cost.
     ///
     /// # Errors
     ///
     /// Propagates the backend's execution error for this request, or
     /// [`ScError::PoolGone`] if the serving worker disappeared (panicked)
     /// before replying.
-    pub fn collect(self) -> Result<(Tensor, Duration), ScError> {
+    pub fn collect(self) -> Result<(Tensor, JobTiming), ScError> {
         match self.rx.recv() {
-            Ok(served) => served.result.map(|t| (t, served.latency)),
+            Ok(served) => served.result.map(|t| (t, served.timing)),
             Err(_) => Err(pool_gone()),
         }
     }
@@ -370,6 +517,7 @@ pub struct ServePool<B: InferenceBackend + ?Sized + 'static = crate::engine::ScE
     /// close the channel and release the workers.
     queue: Option<WorkQueue>,
     gauges: Arc<Gauges>,
+    observability: Arc<PoolObs>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -397,21 +545,25 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         };
         let rx = Arc::new(Mutex::new(rx));
         let gauges = Arc::new(Gauges::default());
+        let observability = Arc::new(PoolObs::new());
         let workers = (0..cfg.resolved_workers())
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let backend = Arc::clone(&backend);
                 let gauges = Arc::clone(&gauges);
+                let observability = Arc::clone(&observability);
                 std::thread::Builder::new()
                     .name(format!("ascend-serve-{i}"))
-                    .spawn(move || worker_loop(&*backend, &rx, &gauges))
+                    .spawn(move || {
+                        worker_loop(&*backend, &rx, &gauges, &observability, i as u32)
+                    })
                     .map_err(|e| ScError::Io {
                         path: format!("thread ascend-serve-{i}"),
                         reason: e.to_string(),
                     })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ServePool { backend, cfg, queue: Some(queue), gauges, workers })
+        Ok(ServePool { backend, cfg, queue: Some(queue), gauges, observability, workers })
     }
 
     /// The pool's configuration.
@@ -446,6 +598,12 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
     /// The queue's configured capacity in requests (`0` = unbounded).
     pub fn queue_capacity(&self) -> usize {
         self.cfg.queue_depth
+    }
+
+    /// The pool's observability state: queue-wait/service histograms and
+    /// the span ring behind `GET /debug/trace`.
+    pub fn obs(&self) -> &PoolObs {
+        &self.observability
     }
 
     /// Submits one owned request to the pool, returning a [`ServeHandle`]
@@ -517,7 +675,10 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         // blocks, so a slow collector cannot stall the pool.
         let (reply, rx) = mpsc::sync_channel(1);
         let images = request.images;
-        Ok((Job { patches: request.patches, images, reply }, rx, images))
+        let trace = request.trace.unwrap_or_else(TraceId::mint);
+        // ascend-lint: allow(no-wallclock-in-forward) -- admission timestamp for the queue-wait split; never reaches the logits
+        let submitted = Instant::now();
+        Ok((Job { patches: request.patches, images, trace, submitted, reply }, rx, images))
     }
 
     /// Serves a queue of requests, returning per-request logits in request
@@ -560,9 +721,14 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
         let images = requests.iter().map(|r| r.images).sum();
         let handles: Vec<ServeHandle> =
             requests.iter().map(|r| self.submit(r.clone())).collect::<Result<_, _>>()?;
-        let (logits, latencies) = self.collect_all(handles)?;
-        let report =
-            ServeReport { latencies, wall: start.elapsed(), images, workers: self.workers.len() };
+        let (logits, latencies, queue_waits) = self.collect_all(handles)?;
+        let report = ServeReport {
+            latencies,
+            queue_waits,
+            wall: start.elapsed(),
+            images,
+            workers: self.workers.len(),
+        };
         Ok(ServeOutcome { logits, report })
     }
 
@@ -608,30 +774,38 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
                 ))
             })
             .collect::<Result<_, _>>()?;
-        let (logits, latencies) = self.collect_all(handles)?;
+        let (logits, latencies, queue_waits) = self.collect_all(handles)?;
         let mut all = Vec::with_capacity(images * classes);
         for t in &logits {
             all.extend_from_slice(t.data());
         }
-        let report =
-            ServeReport { latencies, wall: start.elapsed(), images, workers: self.workers.len() };
+        let report = ServeReport {
+            latencies,
+            queue_waits,
+            wall: start.elapsed(),
+            images,
+            workers: self.workers.len(),
+        };
         Ok((Tensor::from_vec(all, &[images, classes]), report))
     }
 
     /// Collects every handle in submission order, propagating the first
     /// error in request order (later outstanding replies are abandoned).
+    #[allow(clippy::type_complexity)]
     fn collect_all(
         &self,
         handles: Vec<ServeHandle>,
-    ) -> Result<(Vec<Tensor>, Vec<Duration>), ScError> {
+    ) -> Result<(Vec<Tensor>, Vec<Duration>, Vec<Duration>), ScError> {
         let mut logits = Vec::with_capacity(handles.len());
         let mut latencies = Vec::with_capacity(handles.len());
+        let mut queue_waits = Vec::with_capacity(handles.len());
         for handle in handles {
-            let (t, latency) = handle.collect()?;
+            let (t, timing) = handle.collect()?;
             logits.push(t);
-            latencies.push(latency);
+            latencies.push(timing.service);
+            queue_waits.push(timing.queue_wait);
         }
-        Ok((logits, latencies))
+        Ok((logits, latencies, queue_waits))
     }
 
     /// Graceful shutdown: closes the work queue, lets every worker finish
@@ -663,6 +837,8 @@ fn worker_loop<B: InferenceBackend + ?Sized>(
     backend: &B,
     rx: &Mutex<Receiver<Job>>,
     gauges: &Gauges,
+    observability: &PoolObs,
+    worker: u32,
 ) {
     let mut scratch = backend.make_scratch();
     loop {
@@ -680,11 +856,19 @@ fn worker_loop<B: InferenceBackend + ?Sized>(
         };
         gauges.queued.fetch_sub(1, Ordering::Relaxed);
         gauges.in_flight.fetch_add(1, Ordering::Relaxed);
-        // ascend-lint: allow(no-wallclock-in-forward) -- per-request service latency for ServeReport; timing never reaches the output tensor
+        // ascend-lint: allow(no-wallclock-in-forward) -- queue-wait/service split for ServeReport and the trace ring; timing never reaches the output tensor
         let t0 = Instant::now();
+        let queue_wait = t0.saturating_duration_since(job.submitted);
         let result = backend.forward_with(&job.patches, job.images, &mut scratch);
+        let service = t0.elapsed();
+        // Record metrics and spans only after the timed region is closed,
+        // so the ring's mutex never sits inside a measured interval.
+        observability.queue_wait.observe(queue_wait);
+        observability.service.observe(service);
+        observability.trace.record(job.trace, "queue_wait", worker, job.submitted, queue_wait);
+        observability.trace.record(job.trace, "service", worker, t0, service);
         // A dropped handle just means nobody wants this answer.
-        let _ = job.reply.send(Served { result, latency: t0.elapsed() });
+        let _ = job.reply.send(Served { result, timing: JobTiming { queue_wait, service } });
         gauges.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -892,6 +1076,7 @@ mod tests {
     fn report_percentiles_are_nearest_rank() {
         let report = ServeReport {
             latencies: (1..=10).map(Duration::from_millis).collect(),
+            queue_waits: Vec::new(),
             wall: Duration::from_millis(20),
             images: 40,
             workers: 4,
@@ -909,6 +1094,7 @@ mod tests {
     fn empty_report_is_well_defined() {
         let report = ServeReport {
             latencies: Vec::new(),
+            queue_waits: Vec::new(),
             wall: Duration::ZERO,
             images: 0,
             workers: 1,
@@ -926,6 +1112,7 @@ mod tests {
         // report says `inf` explicitly.
         let report = ServeReport {
             latencies: vec![Duration::ZERO; 2],
+            queue_waits: Vec::new(),
             wall: Duration::ZERO,
             images: 8,
             workers: 2,
@@ -940,6 +1127,7 @@ mod tests {
     fn percentile_is_total_on_out_of_range_and_non_finite_p() {
         let report = ServeReport {
             latencies: (1..=4).map(Duration::from_millis).collect(),
+            queue_waits: Vec::new(),
             wall: Duration::from_millis(10),
             images: 4,
             workers: 2,

@@ -42,6 +42,7 @@ use sc_core::ScError;
 
 use crate::backend::{FaultInjectingBackend, InferenceBackend, RefEngine};
 use crate::engine::{EngineConfig, ScEngine};
+use crate::instrument::{InstrumentedBackend, StageStats};
 use crate::serve::{ServeConfig, ServePool, ServeReport};
 
 /// Which implementation of [`InferenceBackend`] a [`Session`] executes.
@@ -107,6 +108,7 @@ pub struct SessionBuilder {
     /// default a network-facing session can stumble into.
     queue_depth: Option<usize>,
     fault: Option<(f64, u64)>,
+    instrument: Option<Arc<StageStats>>,
 }
 
 impl SessionBuilder {
@@ -118,6 +120,7 @@ impl SessionBuilder {
             serve: ServeConfig::auto(),
             queue_depth: None,
             fault: None,
+            instrument: None,
         }
     }
 
@@ -188,6 +191,16 @@ impl SessionBuilder {
     /// `tests/backend_parity.rs`).
     pub fn fault(mut self, rate: f64, seed: u64) -> Self {
         self.fault = Some((rate, seed));
+        self
+    }
+
+    /// Wraps the chosen backend in an [`InstrumentedBackend`] folding
+    /// per-stage timings into `stats` — the same `Arc` the caller keeps,
+    /// so `/metrics` renders and `ascend-cli profile` tables read live
+    /// numbers. Applied *outside* any fault decorator, so under `.fault`
+    /// the instrumented forward measures the faulted computation.
+    pub fn instrument(mut self, stats: Arc<StageStats>) -> Self {
+        self.instrument = Some(stats);
         self
     }
 
@@ -273,7 +286,12 @@ impl SessionBuilder {
             None => backend,
             Some((rate, seed)) => Box::new(FaultInjectingBackend::new(backend, rate, seed)?),
         };
-        Ok(Session { backend: Arc::from(backend), serve, pool: OnceLock::new() })
+        let stats = self.instrument;
+        let backend: Box<dyn InferenceBackend> = match &stats {
+            None => backend,
+            Some(s) => Box::new(InstrumentedBackend::with_stats(backend, Arc::clone(s))),
+        };
+        Ok(Session { backend: Arc::from(backend), serve, pool: OnceLock::new(), stats })
     }
 
     fn compile(
@@ -298,6 +316,9 @@ pub struct Session {
     /// first serving call and reused by every later one — repeated serve
     /// rounds never re-spawn threads.
     pool: OnceLock<ServePool<dyn InferenceBackend>>,
+    /// Per-stage profiling stats, present iff the session was built with
+    /// [`SessionBuilder::instrument`].
+    stats: Option<Arc<StageStats>>,
 }
 
 impl Session {
@@ -326,7 +347,7 @@ impl Session {
                 reason: "micro-batch size must be at least 1".into(),
             });
         }
-        Ok(Session { backend, serve, pool: OnceLock::new() })
+        Ok(Session { backend, serve, pool: OnceLock::new(), stats: None })
     }
 
     /// The session's backend, as the trait object every consumer codes
@@ -338,6 +359,12 @@ impl Session {
     /// The serving configuration the session was built with.
     pub fn serve_config(&self) -> &ServeConfig {
         &self.serve
+    }
+
+    /// The per-stage profiling stats, if the session was built with
+    /// [`SessionBuilder::instrument`].
+    pub fn stage_stats(&self) -> Option<&Arc<StageStats>> {
+        self.stats.as_ref()
     }
 
     /// The session's persistent [`ServePool`], spawned on first use and

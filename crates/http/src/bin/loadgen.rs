@@ -42,6 +42,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     conn_workers: usize,
+    trace: bool,
+    bench_json: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -59,6 +61,11 @@ options:
     --workers N         serving-pool worker threads (2)
     --queue-depth N     bounded admission queue depth (2; small forces shedding)
     --conn-workers N    server connection-handler threads (4)
+    --trace             fetch /debug/trace after the storm and verify the
+                        chrome://tracing export covers exactly the 200s
+    --bench-json PATH   merge a \"loadgen\" record (images/s, latency and
+                        queue-wait percentiles, shed counts) into the JSON
+                        object at PATH (e.g. BENCH_serve.json)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -71,11 +78,17 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue_depth: 2,
         conn_workers: 4,
+        trace: false,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(USAGE.into());
+        }
+        if flag == "--trace" {
+            args.trace = true;
+            continue;
         }
         let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
         let parse = |v: &str| v.parse::<usize>().map_err(|_| format!("bad number for {flag}: {v}"));
@@ -94,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse(&value)?,
             "--queue-depth" => args.queue_depth = parse(&value)?,
             "--conn-workers" => args.conn_workers = parse(&value)?,
+            "--bench-json" => args.bench_json = Some(value),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
     }
@@ -179,7 +193,8 @@ fn run() -> Result<(), String> {
     let wall = started.elapsed();
 
     // /metrics must be live after the storm.
-    let metrics_text = fetch_metrics(addr)?;
+    let metrics_text = fetch_text(addr, "/metrics")?;
+    let trace_json = if args.trace { Some(fetch_text(addr, "/debug/trace")?) } else { None };
 
     // Graceful drain: this returning IS the assertion.
     server.shutdown_handle().shutdown();
@@ -226,6 +241,40 @@ fn run() -> Result<(), String> {
     }
     if !metrics_text.contains("ascend_http_responses_ok_total") {
         failures.push("/metrics response lacks counters".into());
+    }
+    if !metrics_text.contains("# TYPE ascend_request_queue_wait_seconds histogram") {
+        failures.push("/metrics response lacks the queue-wait histogram".into());
+    }
+    if let Some(json) = &trace_json {
+        check_trace(json, ok, &mut failures);
+    }
+    if let Some(path) = &args.bench_json {
+        let obs = session
+            .runner()
+            .map_err(|e| format!("pool unavailable for bench record: {e}"))?
+            .obs();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let record = ascend_obs::BenchRecord::new("loadgen")
+            .num("images_per_s", report.throughput())
+            .num("p50_ms", ms(report.latency_percentile(50.0)))
+            .num("p95_ms", ms(report.latency_percentile(95.0)))
+            .num("p99_ms", ms(report.latency_percentile(99.0)))
+            .num("queue_wait_p50_ms", ms(obs.queue_wait().snapshot().percentile(50.0)))
+            .num("queue_wait_p95_ms", ms(obs.queue_wait().snapshot().percentile(95.0)))
+            .num("service_p50_ms", ms(obs.service().snapshot().percentile(50.0)))
+            .num("service_p95_ms", ms(obs.service().snapshot().percentile(95.0)))
+            .num("wall_s", wall.as_secs_f64())
+            .int("ok", ok)
+            .int("shed", shed)
+            .int("requests", args.requests as u64)
+            .int("connections", args.connections as u64)
+            .int("workers", args.workers as u64)
+            .int("images_per_request", args.images as u64)
+            .text("backend", session.backend().name());
+        record
+            .write_merged(std::path::Path::new(path))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("loadgen: merged \"loadgen\" record into {path}");
     }
     if failures.is_empty() {
         eprintln!("loadgen: PASS");
@@ -312,17 +361,52 @@ fn connect(addr: std::net::SocketAddr) -> Option<(BufReader<TcpStream>, TcpStrea
     Some((reader, stream))
 }
 
-fn fetch_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+fn fetch_text(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
     let (mut reader, mut writer) =
-        connect(addr).ok_or_else(|| "could not connect for /metrics".to_string())?;
-    client::write_request(&mut writer, "GET", "/metrics", &[], true)
-        .map_err(|e| format!("/metrics write failed: {e}"))?;
+        connect(addr).ok_or_else(|| format!("could not connect for {path}"))?;
+    client::write_request(&mut writer, "GET", path, &[], true)
+        .map_err(|e| format!("{path} write failed: {e}"))?;
     let response =
-        client::read_response(&mut reader).map_err(|e| format!("/metrics read failed: {e}"))?;
+        client::read_response(&mut reader).map_err(|e| format!("{path} read failed: {e}"))?;
     if response.status != 200 {
-        return Err(format!("/metrics answered {}", response.status));
+        return Err(format!("{path} answered {}", response.status));
     }
-    String::from_utf8(response.body).map_err(|_| "/metrics body is not utf-8".into())
+    String::from_utf8(response.body).map_err(|_| format!("{path} body is not utf-8"))
+}
+
+/// Validates the `/debug/trace` chrome://tracing export against the run's
+/// outcome: well-formed envelope, paired queue-wait/service spans, and —
+/// because shed requests are never claimed by a worker — span counts that
+/// match the number of 200s exactly (modulo the bounded ring).
+fn check_trace(json: &str, ok: u64, failures: &mut Vec<String>) {
+    if !json.starts_with("{\"traceEvents\":[") || !json.trim_end().ends_with('}') {
+        failures.push("/debug/trace is not a chrome traceEvents object".into());
+        return;
+    }
+    if !json.contains("\"displayTimeUnit\"") {
+        failures.push("/debug/trace lacks displayTimeUnit".into());
+    }
+    let count = |needle: &str| json.matches(needle).count() as u64;
+    let queue_spans = count("\"name\":\"queue_wait\"");
+    let service_spans = count("\"name\":\"service\"");
+    if queue_spans != service_spans {
+        failures.push(format!(
+            "trace has {queue_spans} queue_wait spans but {service_spans} service spans"
+        ));
+    }
+    // The ring is bounded, so only expect exact coverage while it cannot
+    // have wrapped; past that, it must still be non-empty.
+    let ring = ascend::serve::TRACE_SPAN_CAPACITY as u64;
+    if 2 * ok <= ring {
+        if queue_spans != ok {
+            failures.push(format!(
+                "trace covers {queue_spans} requests but {ok} got a 200 \
+                 (shed requests must leave no spans)"
+            ));
+        }
+    } else if queue_spans == 0 && ok > 0 {
+        failures.push("trace is empty despite served requests".into());
+    }
 }
 
 fn main() -> ExitCode {

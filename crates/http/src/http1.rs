@@ -269,6 +269,16 @@ impl Response {
         Response { status, headers: Vec::new(), body, content_type: "application/octet-stream" }
     }
 
+    /// A JSON response (the body is trusted to already be valid JSON).
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
     /// Appends a header.
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.headers.push((name, value.into()));

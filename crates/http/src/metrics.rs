@@ -1,72 +1,104 @@
-//! Server-side counters and the `/metrics` exporter.
+//! Server-side counters and the `/metrics` exporter, backed by the
+//! [`ascend_obs`] registry.
 //!
-//! Counters are relaxed atomics (they are gauges for operators, not
-//! synchronization); latencies keep a bounded sliding window so the
-//! percentile cost and memory stay flat no matter how long the server
-//! runs. Rendering reuses [`ServeReport`]'s nearest-rank percentile and
-//! throughput machinery so the HTTP numbers mean exactly what the
-//! in-process serving report means.
+//! Every update path is a single relaxed atomic operation on an
+//! [`ascend_obs`] primitive — no locks, no allocation — so connection
+//! threads can record at any rate. The old bounded `Mutex<VecDeque>`
+//! latency window is gone: request latency lives in a fixed-bucket log2
+//! [`Histogram`], which renders in Prometheus exposition format and keeps
+//! percentile cost and memory flat no matter how long the server runs.
+//! The serving pool's own histograms (queue wait vs service time) are
+//! appended by the route handler from [`ascend::serve::PoolObs`], so one
+//! scrape sees the whole request path.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
-use ascend::serve::ServeReport;
-
-/// How many recent request latencies the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
+use ascend::serve::JobTiming;
+use ascend_obs::{Counter, Gauge, HistSnapshot, Histogram, Registry};
 
 /// Live counters of one [`crate::HttpServer`].
-#[derive(Debug)]
 pub struct ServerMetrics {
+    registry: Registry,
     /// Requests that produced a `200`.
-    pub ok: AtomicU64,
+    pub ok: Arc<Counter>,
     /// Requests shed with `503` (queue full or pool gone).
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests answered with a `4xx`.
-    pub client_error: AtomicU64,
+    pub client_error: Arc<Counter>,
     /// Requests answered with a `5xx` other than shedding.
-    pub server_error: AtomicU64,
+    pub server_error: Arc<Counter>,
     /// Connections accepted onto a handler thread.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
     /// Connections refused with `503` because the hand-off backlog was
     /// full (every handler busy).
-    pub conn_shed: AtomicU64,
+    pub conn_shed: Arc<Counter>,
     /// Images served across all `200` responses.
-    pub images: AtomicU64,
-    latencies: Mutex<VecDeque<Duration>>,
+    pub images: Arc<Counter>,
+    /// End-to-end request latency (queue wait + service) per `200`.
+    request_seconds: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queue_capacity: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    workers: Arc<Gauge>,
     started: Instant,
 }
 
 impl ServerMetrics {
     /// Fresh, zeroed metrics; the clock for throughput starts now.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let ok = registry.counter("ascend_http_responses_ok_total", "Requests answered 200.");
+        let shed = registry
+            .counter("ascend_http_shed_total", "Requests shed with 503 (queue full or pool gone).");
+        let client_error =
+            registry.counter("ascend_http_client_error_total", "Requests answered 4xx.");
+        let server_error = registry
+            .counter("ascend_http_server_error_total", "Requests answered 5xx other than shed.");
+        let connections =
+            registry.counter("ascend_http_connections_total", "Connections accepted.");
+        let conn_shed = registry.counter(
+            "ascend_http_connections_shed_total",
+            "Connections refused 503: hand-off backlog full.",
+        );
+        let images =
+            registry.counter("ascend_images_total", "Images served across all 200 responses.");
+        let request_seconds = registry.histogram(
+            "ascend_http_request_seconds",
+            "End-to-end request latency (queue wait + service) per 200.",
+        );
+        let queue_depth =
+            registry.gauge("ascend_queue_depth", "Admission queue depth at scrape time.");
+        let queue_capacity =
+            registry.gauge("ascend_queue_capacity", "Admission queue capacity (0 = unbounded).");
+        let in_flight = registry.gauge("ascend_in_flight", "Jobs being computed at scrape time.");
+        let workers = registry.gauge("ascend_workers", "Serving pool worker threads.");
         ServerMetrics {
-            ok: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            client_error: AtomicU64::new(0),
-            server_error: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            conn_shed: AtomicU64::new(0),
-            images: AtomicU64::new(0),
-            latencies: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            registry,
+            ok,
+            shed,
+            client_error,
+            server_error,
+            connections,
+            conn_shed,
+            images,
+            request_seconds,
+            queue_depth,
+            queue_capacity,
+            in_flight,
+            workers,
+            // ascend-lint: allow(no-wallclock-in-forward) -- serve-layer uptime anchor for the throughput gauge; never reaches the logits
             started: Instant::now(),
         }
     }
 
-    /// Records one served request: its service latency and image count.
-    pub fn record_served(&self, latency: Duration, images: usize) {
-        self.ok.fetch_add(1, Ordering::Relaxed);
-        self.images.fetch_add(images as u64, Ordering::Relaxed);
-        let mut window = match self.latencies.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        if window.len() == LATENCY_WINDOW {
-            window.pop_front();
-        }
-        window.push_back(latency);
+    /// Records one served request: its queue-wait/service split and image
+    /// count. The exported latency histogram observes the end-to-end total;
+    /// the split itself is exported by the pool's own histograms.
+    pub fn record_served(&self, timing: JobTiming, images: usize) {
+        self.ok.inc();
+        self.images.add(images as u64);
+        self.request_seconds.observe(timing.total());
     }
 
     /// Tallies a non-`200` response under the right counter.
@@ -76,26 +108,29 @@ impl ServerMetrics {
             400..=499 => &self.client_error,
             _ => &self.server_error,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
-    /// A [`ServeReport`] over the latency window — the same percentile
-    /// semantics the in-process serving path reports.
-    pub fn report(&self, workers: usize) -> ServeReport {
-        let window = match self.latencies.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let latencies: Vec<Duration> = window.iter().copied().collect();
-        drop(window);
-        let images = usize::try_from(self.images.load(Ordering::Relaxed)).unwrap_or(usize::MAX);
-        ServeReport::from_parts(latencies, self.started.elapsed(), images, workers)
+    /// Snapshot of the end-to-end request-latency histogram.
+    pub fn latency_snapshot(&self) -> HistSnapshot {
+        self.request_seconds.snapshot()
+    }
+
+    /// Images served per second of server uptime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.images.get() as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Renders the Prometheus-style text exposition for `GET /metrics`.
     ///
     /// `queued`/`queue_capacity`/`in_flight` come from the pool's live
-    /// gauges; `workers` is the pool size.
+    /// gauges; `workers` is the pool size. The caller appends the pool's
+    /// own registry (queue-wait/service histograms) for the full picture.
     pub fn render(
         &self,
         queued: usize,
@@ -103,37 +138,18 @@ impl ServerMetrics {
         in_flight: usize,
         workers: usize,
     ) -> String {
-        let report = self.report(workers);
-        let q = |p: f64| report.latency_percentile(p).as_secs_f64();
-        let throughput = report.throughput();
-        format!(
-            "ascend_http_responses_ok_total {}\n\
-             ascend_http_shed_total {}\n\
-             ascend_http_client_error_total {}\n\
-             ascend_http_server_error_total {}\n\
-             ascend_http_connections_total {}\n\
-             ascend_http_connections_shed_total {}\n\
-             ascend_images_total {}\n\
-             ascend_queue_depth {queued}\n\
-             ascend_queue_capacity {queue_capacity}\n\
-             ascend_in_flight {in_flight}\n\
-             ascend_workers {workers}\n\
-             ascend_latency_seconds{{quantile=\"0.5\"}} {:.6}\n\
-             ascend_latency_seconds{{quantile=\"0.95\"}} {:.6}\n\
-             ascend_latency_seconds{{quantile=\"1.0\"}} {:.6}\n\
+        self.queue_depth.set(queued as u64);
+        self.queue_capacity.set(queue_capacity as u64);
+        self.in_flight.set(in_flight as u64);
+        self.workers.set(workers as u64);
+        let mut out = self.registry.render();
+        out.push_str(&format!(
+            "# HELP ascend_throughput_images_per_second Images per second of uptime.\n\
+             # TYPE ascend_throughput_images_per_second gauge\n\
              ascend_throughput_images_per_second {:.3}\n",
-            self.ok.load(Ordering::Relaxed),
-            self.shed.load(Ordering::Relaxed),
-            self.client_error.load(Ordering::Relaxed),
-            self.server_error.load(Ordering::Relaxed),
-            self.connections.load(Ordering::Relaxed),
-            self.conn_shed.load(Ordering::Relaxed),
-            self.images.load(Ordering::Relaxed),
-            q(50.0),
-            q(95.0),
-            q(100.0),
-            if throughput.is_finite() { throughput } else { 0.0 },
-        )
+            self.throughput()
+        ));
+        out
     }
 }
 
@@ -146,12 +162,17 @@ impl Default for ServerMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn timing(ms: u64) -> JobTiming {
+        JobTiming { queue_wait: Duration::ZERO, service: Duration::from_millis(ms) }
+    }
 
     #[test]
-    fn render_reports_counters_gauges_and_percentiles() {
+    fn render_reports_counters_gauges_and_the_latency_histogram() {
         let m = ServerMetrics::new();
-        m.record_served(Duration::from_millis(10), 2);
-        m.record_served(Duration::from_millis(30), 1);
+        m.record_served(timing(10), 2);
+        m.record_served(timing(30), 1);
         m.record_status(503);
         m.record_status(400);
         m.record_status(500);
@@ -165,19 +186,46 @@ mod tests {
         assert!(text.contains("ascend_queue_capacity 8\n"), "{text}");
         assert!(text.contains("ascend_in_flight 1\n"), "{text}");
         assert!(text.contains("ascend_workers 4\n"), "{text}");
-        assert!(text.contains("quantile=\"0.95\"} 0.030000\n"), "{text}");
+        assert!(text.contains("# TYPE ascend_http_request_seconds histogram"), "{text}");
+        assert!(text.contains("ascend_http_request_seconds_count 2\n"), "{text}");
+        assert!(text.contains("ascend_throughput_images_per_second"), "{text}");
     }
 
     #[test]
-    fn latency_window_is_bounded() {
+    fn latency_histogram_observes_the_end_to_end_total() {
         let m = ServerMetrics::new();
-        for i in 0..(LATENCY_WINDOW + 100) {
-            m.record_served(Duration::from_micros(i as u64), 1);
+        m.record_served(
+            JobTiming {
+                queue_wait: Duration::from_millis(6),
+                service: Duration::from_millis(10),
+            },
+            1,
+        );
+        let snap = m.latency_snapshot();
+        assert_eq!(snap.count(), 1);
+        // 16 ms total lands in the 2^24 ns bucket, not the 2^23 service one.
+        assert_eq!(snap.sum_ns, 16_000_000);
+        let (lo, hi) = snap.percentile_bounds_ns(50.0);
+        assert!(lo <= 16_000_000 && 16_000_000 <= hi, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn memory_stays_flat_no_matter_how_many_requests() {
+        // The histogram replaces the old sliding window: recording far more
+        // requests than the old window held still renders fine and counts
+        // every one of them.
+        let m = ServerMetrics::new();
+        for i in 0..10_000u64 {
+            m.record_served(
+                JobTiming {
+                    queue_wait: Duration::ZERO,
+                    service: Duration::from_micros(i),
+                },
+                1,
+            );
         }
-        let report = m.report(1);
-        assert_eq!(report.latencies().len(), LATENCY_WINDOW);
-        // The window slid: the smallest retained latency is the 100th.
-        assert_eq!(report.latency_percentile(0.0), Duration::from_micros(100));
+        assert_eq!(m.latency_snapshot().count(), 10_000);
+        assert!(m.render(0, 0, 0, 1).contains("ascend_http_responses_ok_total 10000\n"));
     }
 
     #[test]

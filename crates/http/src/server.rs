@@ -24,8 +24,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ascend::serve::ServeRequest;
+use ascend::serve::{JobTiming, ServeRequest};
 use ascend::Session;
+use ascend_obs::TraceId;
 use sc_core::ScError;
 
 use crate::http1::{self, Limits, ParseError, Request, Response};
@@ -204,7 +205,7 @@ fn accept_loop(
             Ok((stream, _peer)) => match conn_tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(stream)) => {
-                    metrics.conn_shed.fetch_add(1, Ordering::Relaxed);
+                    metrics.conn_shed.inc();
                     shed_connection(stream, write_timeout);
                 }
                 Err(TrySendError::Disconnected(_)) => break,
@@ -244,7 +245,7 @@ fn conn_worker(
                 Err(_) => break, // accept loop gone: shutdown
             }
         };
-        metrics.connections.fetch_add(1, Ordering::Relaxed);
+        metrics.connections.inc();
         handle_connection(stream, session, metrics, cfg, stop);
     }
 }
@@ -291,7 +292,7 @@ fn handle_connection(
         let close =
             last || request.wants_close() || stop.load(Ordering::SeqCst);
         match served_infer {
-            Some((latency, images)) => metrics.record_served(latency, images),
+            Some((timing, images)) => metrics.record_served(timing, images),
             None => metrics.record_status(response.status),
         }
         if response.write_to(&mut stream, close).is_err() || close {
@@ -322,12 +323,12 @@ fn respond_parse_error(stream: &mut TcpStream, metrics: &ServerMetrics, e: &Pars
 }
 
 /// Dispatches one parsed request; a `200 /v1/infer` also returns the
-/// service latency and image count for metrics.
+/// queue-wait/service timing split and image count for metrics.
 fn route(
     request: &Request,
     session: &Arc<Session>,
     metrics: &ServerMetrics,
-) -> (Response, Option<(Duration, usize)>) {
+) -> (Response, Option<(JobTiming, usize)>) {
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/v1/infer") => infer(request, session),
         ("GET", "/v1/infer") | ("HEAD", "/v1/infer") => {
@@ -337,6 +338,10 @@ fn route(
         (_, "/metrics") => {
             (Response::text(405, "use GET").with_header("allow", "GET"), None)
         }
+        ("GET", "/debug/trace") => (render_trace(session), None),
+        (_, "/debug/trace") => {
+            (Response::text(405, "use GET").with_header("allow", "GET"), None)
+        }
         ("GET", "/") | ("GET", "/healthz") => {
             (Response::text(200, "ascend-http: ok"), None)
         }
@@ -344,15 +349,33 @@ fn route(
     }
 }
 
-/// The `/metrics` body: server counters plus the pool's live gauges.
+/// The `/metrics` body: server counters and the request-latency histogram,
+/// followed by the pool's own registry (queue-wait and service-time
+/// histograms), so one scrape covers the whole request path.
 fn render_metrics(session: &Arc<Session>, metrics: &ServerMetrics) -> String {
     // The pool exists (bind() spawned it); a failure here means it could
     // not spawn at all, which bind() already surfaced.
     match session.runner() {
         Ok(pool) => {
-            metrics.render(pool.queued(), pool.queue_capacity(), pool.in_flight(), pool.workers())
+            let mut out = metrics.render(
+                pool.queued(),
+                pool.queue_capacity(),
+                pool.in_flight(),
+                pool.workers(),
+            );
+            out.push_str(&pool.obs().render());
+            out
         }
         Err(e) => format!("# pool unavailable: {e}\n"),
+    }
+}
+
+/// The `GET /debug/trace` body: the pool's recent request spans as
+/// chrome://tracing JSON (load it via `chrome://tracing` or Perfetto).
+fn render_trace(session: &Arc<Session>) -> Response {
+    match session.runner() {
+        Ok(pool) => Response::json(200, pool.obs().trace().to_chrome_json()),
+        Err(e) => Response::text(500, format!("pool unavailable: {e}")),
     }
 }
 
@@ -363,7 +386,7 @@ fn render_metrics(session: &Arc<Session>, metrics: &ServerMetrics) -> String {
 fn infer(
     request: &Request,
     session: &Arc<Session>,
-) -> (Response, Option<(Duration, usize)>) {
+) -> (Response, Option<(JobTiming, usize)>) {
     let vit = session.backend().vit_config();
     let (patches, images) = match crate::decode_infer_request(&request.body, vit) {
         Ok(decoded) => decoded,
@@ -373,7 +396,10 @@ fn infer(
         Ok(pool) => pool,
         Err(e) => return (shed_response(&e), None),
     };
-    let handle = match pool.try_submit(ServeRequest::new(patches, images)) {
+    // The trace id is minted here, at admission: a request the pool refuses
+    // (shed below) dies with its id and must leave no spans behind.
+    let trace = TraceId::mint();
+    let handle = match pool.try_submit(ServeRequest::new(patches, images).with_trace(trace)) {
         Ok(handle) => handle,
         Err(e @ (ScError::QueueFull { .. } | ScError::PoolGone)) => {
             return (shed_response(&e), None)
@@ -381,9 +407,9 @@ fn infer(
         Err(e) => return (Response::text(400, format!("rejected: {e}")), None),
     };
     match handle.collect() {
-        Ok((logits, latency)) => {
+        Ok((logits, timing)) => {
             let body = crate::encode_logits(&logits, images, vit.classes);
-            (Response::binary(200, body), Some((latency, images)))
+            (Response::binary(200, body), Some((timing, images)))
         }
         Err(ScError::PoolGone) => (shed_response(&ScError::PoolGone), None),
         Err(e) => (Response::text(500, format!("inference failed: {e}")), None),

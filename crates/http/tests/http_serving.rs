@@ -315,6 +315,69 @@ fn full_queue_sheds_with_503_retry_after_and_drains_clean() {
 }
 
 #[test]
+fn traces_cover_every_200_and_never_a_shed() {
+    // Same overload shape as the shedding test: A stalls the worker, B
+    // queues, C is shed. After the drain, the two served requests — and
+    // only they — must have queue-wait and service spans in /debug/trace,
+    // and /metrics must carry the queue-wait/service histogram split.
+    let (server, backend, session) =
+        gated_server(false, 1, HttpConfig::new("127.0.0.1:0"));
+    let addr = server.local_addr();
+    let pool = session.runner().expect("pool");
+
+    let (mut reader_a, mut writer_a) = connect(addr);
+    client::write_request(&mut writer_a, "POST", "/v1/infer", &gated_payload(1.0), false)
+        .expect("write A");
+    wait_until("A in flight", Duration::from_secs(5), || pool.in_flight() == 1);
+    let (mut reader_b, mut writer_b) = connect(addr);
+    client::write_request(&mut writer_b, "POST", "/v1/infer", &gated_payload(2.0), false)
+        .expect("write B");
+    wait_until("B queued", Duration::from_secs(5), || pool.queued() == 1);
+    let (mut reader_c, mut writer_c) = connect(addr);
+    client::write_request(&mut writer_c, "POST", "/v1/infer", &gated_payload(3.0), false)
+        .expect("write C");
+    assert_eq!(client::read_response(&mut reader_c).expect("C response").status, 503);
+
+    backend.open();
+    for reader in [&mut reader_a, &mut reader_b] {
+        assert_eq!(client::read_response(reader).expect("drained").status, 200);
+    }
+
+    // /metrics: the pool's queue-wait and service histograms saw exactly
+    // the two served requests; the shed one never reached a worker.
+    let (mut reader_m, mut writer_m) = connect(addr);
+    client::write_request(&mut writer_m, "GET", "/metrics", &[], false).expect("write metrics");
+    let metrics = client::read_response(&mut reader_m).expect("metrics");
+    let text = String::from_utf8(metrics.body).expect("utf-8");
+    assert!(text.contains("# TYPE ascend_request_queue_wait_seconds histogram"), "{text}");
+    assert!(text.contains("ascend_request_queue_wait_seconds_count 2\n"), "{text}");
+    assert!(text.contains("ascend_request_service_seconds_count 2\n"), "{text}");
+    assert!(text.contains("ascend_http_request_seconds_count 2\n"), "{text}");
+
+    // /debug/trace: chrome://tracing JSON with one queue_wait and one
+    // service span per 200, two distinct trace ids, and nothing from C.
+    client::write_request(&mut writer_m, "GET", "/debug/trace", &[], true).expect("write trace");
+    let trace = client::read_response(&mut reader_m).expect("trace");
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.header("content-type"), Some("application/json"));
+    let json = String::from_utf8(trace.body).expect("utf-8");
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.trim_end().ends_with('}'), "{json}");
+    assert_eq!(json.matches("\"name\":\"queue_wait\"").count(), 2, "{json}");
+    assert_eq!(json.matches("\"name\":\"service\"").count(), 2, "{json}");
+    let mut ids: Vec<&str> = json
+        .split("\"trace_id\":")
+        .skip(1)
+        .map(|s| s.split(|c: char| !c.is_ascii_digit()).next().unwrap_or(""))
+        .collect();
+    assert_eq!(ids.len(), 4, "two spans per served request: {json}");
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 2, "one trace id per request, none leaked for the shed: {json}");
+    server.join();
+}
+
+#[test]
 fn dead_pool_answers_503_never_hangs() {
     let backend: Arc<dyn InferenceBackend> =
         Arc::new(PanickingBackend { cfg: tiny_vit(), plan: PrecisionPlan::fp() });

@@ -1,0 +1,291 @@
+//! The `BENCH_serve.json` perf-trajectory writer.
+//!
+//! ROADMAP item 2 tracks serving performance across PRs via `BENCH_*.json`
+//! artifacts at the repo root. Two tools contribute records — the HTTP
+//! loadgen and the criterion throughput bench — so the file is a JSON
+//! object with one entry per source, and each writer *merges* its own
+//! record instead of clobbering the file:
+//!
+//! ```json
+//! {
+//!   "loadgen": { "images_per_s": 812.4, "p50_ms": 9.1, ... },
+//!   "throughput": { "images_per_s": 903.0, ... }
+//! }
+//! ```
+//!
+//! The merge parser is a tolerant top-level scanner (tracks string/escape
+//! state and brace depth); a malformed existing file degrades to "keep only
+//! my record" rather than an error.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::trace::escape_json;
+
+/// One field value in a [`BenchRecord`].
+#[derive(Debug, Clone)]
+enum Value {
+    Num(f64),
+    Int(u64),
+    Text(String),
+}
+
+/// A named benchmark record destined for `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl BenchRecord {
+    /// A record for the given source name (e.g. `"loadgen"`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The source name this record is filed under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a floating-point field (non-finite values are written as 0).
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.fields.push((key.to_string(), Value::Num(v)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Value::Int(v)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn text(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Value::Text(v.to_string())));
+        self
+    }
+
+    /// Renders this record's value as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = match v {
+                Value::Num(n) => write!(out, "\"{}\": {:.4}", escape_json(k), n),
+                Value::Int(n) => write!(out, "\"{}\": {}", escape_json(k), n),
+                Value::Text(s) => write!(out, "\"{}\": \"{}\"", escape_json(k), escape_json(s)),
+            };
+        }
+        out.push('}');
+        out
+    }
+
+    /// Merges this record into the JSON object file at `path`: existing
+    /// entries under other names are preserved, the entry under this
+    /// record's name is replaced, and entries are written sorted by name.
+    pub fn write_merged(&self, path: &Path) -> io::Result<()> {
+        let existing = fs::read_to_string(path).unwrap_or_default();
+        let mut entries = parse_top_level(&existing);
+        entries.retain(|(k, _)| k != &self.name);
+        entries.push((self.name.clone(), self.to_json()));
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let _ = write!(out, "  \"{}\": {}", escape_json(k), v.trim());
+            out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        fs::write(path, out)
+    }
+}
+
+/// Splits the top level of a JSON object into `(key, raw_value)` pairs.
+///
+/// Tolerant by design: tracks string/escape state and `{}`/`[]` depth, and
+/// returns whatever well-formed prefix it finds (empty on garbage input).
+fn parse_top_level(s: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    // Find the opening brace.
+    while i < bytes.len() && bytes[i] != b'{' {
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return entries;
+    }
+    i += 1;
+    loop {
+        // Skip whitespace and commas to the next key (or the closing brace).
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b'}' {
+            return entries;
+        }
+        if bytes[i] != b'"' {
+            return entries; // malformed: bail with what we have
+        }
+        // Parse the key string.
+        i += 1;
+        let key_start = i;
+        let mut escaped = false;
+        while i < bytes.len() {
+            if escaped {
+                escaped = false;
+            } else if bytes[i] == b'\\' {
+                escaped = true;
+            } else if bytes[i] == b'"' {
+                break;
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return entries;
+        }
+        let key = String::from_utf8_lossy(&bytes[key_start..i]).into_owned();
+        i += 1;
+        // Skip to the colon, then the value.
+        while i < bytes.len() && bytes[i] != b':' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return entries;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // Capture the raw value: scan to the next top-level ',' or '}'.
+        let val_start = i;
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+            } else {
+                match b {
+                    b'"' => in_string = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth > 0 => depth -= 1,
+                    b',' | b'}' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let value = String::from_utf8_lossy(&bytes[val_start..i])
+            .trim()
+            .to_string();
+        if !value.is_empty() {
+            entries.push((key, value));
+        }
+        if i >= bytes.len() {
+            return entries;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_single_line_json() {
+        let r = BenchRecord::new("loadgen")
+            .num("images_per_s", 812.5)
+            .int("shed", 3)
+            .text("backend", "sc");
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"images_per_s\": 812.5000, \"shed\": 3, \"backend\": \"sc\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_zero() {
+        let r = BenchRecord::new("x").num("bad", f64::INFINITY).num("nan", f64::NAN);
+        assert_eq!(r.to_json(), "{\"bad\": 0.0000, \"nan\": 0.0000}");
+    }
+
+    #[test]
+    fn parse_top_level_handles_nesting_and_strings() {
+        let s = "{\n  \"a\": {\"x\": [1, 2], \"s\": \"br}ace\"},\n  \"b\": 3\n}\n";
+        let entries = parse_top_level(s);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[0].1, "{\"x\": [1, 2], \"s\": \"br}ace\"}");
+        assert_eq!(entries[1], ("b".to_string(), "3".to_string()));
+    }
+
+    #[test]
+    fn parse_top_level_tolerates_garbage() {
+        assert!(parse_top_level("").is_empty());
+        assert!(parse_top_level("not json").is_empty());
+        assert_eq!(parse_top_level("{\"k\": 1").len(), 1);
+    }
+
+    #[test]
+    fn write_merged_preserves_other_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "ascend_obs_bench_{}_{}",
+            std::process::id(),
+            TraceIdHelper::unique()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+
+        BenchRecord::new("throughput")
+            .num("images_per_s", 900.0)
+            .write_merged(&path)
+            .unwrap();
+        BenchRecord::new("loadgen")
+            .num("images_per_s", 800.0)
+            .int("shed", 2)
+            .write_merged(&path)
+            .unwrap();
+        // Re-writing loadgen replaces its entry, keeps throughput.
+        BenchRecord::new("loadgen")
+            .num("images_per_s", 850.0)
+            .write_merged(&path)
+            .unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"throughput\": {\"images_per_s\": 900.0000}"));
+        assert!(text.contains("\"loadgen\": {\"images_per_s\": 850.0000}"));
+        assert!(!text.contains("800.0"));
+        assert!(!text.contains("\"shed\""));
+        let entries = parse_top_level(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "loadgen"); // sorted
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Tiny helper: unique suffix without Instant/SystemTime plumbing.
+    struct TraceIdHelper;
+    impl TraceIdHelper {
+        fn unique() -> u64 {
+            crate::trace::TraceId::mint().0
+        }
+    }
+}

@@ -111,8 +111,8 @@ fn main() {
     let mut max_latency = std::time::Duration::ZERO;
     for handle in handles {
         images += handle.images();
-        let (_logits, latency) = handle.collect().expect("collect");
-        max_latency = max_latency.max(latency);
+        let (_logits, timing) = handle.collect().expect("collect");
+        max_latency = max_latency.max(timing.total());
     }
     println!(
         "streamed {images} images over {} ragged requests (max request latency {:.2} ms)",
