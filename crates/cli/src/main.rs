@@ -62,6 +62,12 @@ SUBCOMMANDS:
              --port-file PATH (write the bound address for scripts)
              --duration-secs 0 (0 = run until killed; otherwise drain
              gracefully after that many seconds)
+             With repeated --artifact NAME=PATH pairs (instead of
+             --engine), host many models behind one listener; each stays
+             cold until its first POST /v1/models/NAME/infer:
+             --artifact alpha=a.sceng --artifact beta=b.sceng
+             --memory-budget-mb 0 (0 = unlimited; otherwise LRU-evict
+             idle models to stay under the budget)
     profile  Per-stage timing breakdown of the forward pass
              --engine PATH (required; engine artifact, or checkpoint)
              --backend sc|ref (sc)  --images 16  --batch 4
@@ -147,6 +153,11 @@ impl From<sc_core::ScError> for CliError {
     }
 }
 
+/// Flags that accumulate when repeated instead of being rejected as
+/// duplicates: multi-model serving names one model per `--artifact
+/// name=path` occurrence.
+const REPEATABLE_FLAGS: &[&str] = &["artifact"];
+
 /// Parsed `--key value` pairs with consumed-key tracking, so unknown or
 /// misspelled flags are reported instead of silently ignored.
 #[derive(Debug, Default)]
@@ -169,7 +180,7 @@ impl Flags {
             let Some(value) = it.next() else {
                 return Err(CliError::Usage(format!("flag --{name} is missing its value")));
             };
-            if pairs.iter().any(|(k, _)| k == name) {
+            if !REPEATABLE_FLAGS.contains(&name) && pairs.iter().any(|(k, _)| k == name) {
                 return Err(CliError::DuplicateFlag(name.to_string()));
             }
             pairs.push((name.to_string(), value.clone()));
@@ -180,6 +191,12 @@ impl Flags {
     fn get(&self, name: &str) -> Option<&str> {
         self.used.borrow_mut().push(name.to_string());
         self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Every value a repeatable flag was given, in command-line order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.used.borrow_mut().push(name.to_string());
+        self.pairs.iter().filter(|(k, _)| k == name).map(|(_, v)| v.as_str()).collect()
     }
 
     fn require(&self, name: &str) -> Result<&str, CliError> {
@@ -374,6 +391,11 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
     if flags.pairs.iter().any(|(k, _)| k == "listen") {
         return cmd_serve_http(flags);
     }
+    if flags.pairs.iter().any(|(k, _)| k == "artifact") {
+        return Err(CliError::Usage(
+            "--artifact name=path is multi-model HTTP serving; it requires --listen".into(),
+        ));
+    }
     let engine_path = PathBuf::from(flags.require("engine")?);
     let backend = parse_backend(&flags)?;
     let requests: usize = flags.get_parsed("requests", 8)?;
@@ -458,9 +480,17 @@ fn cmd_serve(flags: Flags) -> Result<(), CliError> {
 /// `serve --listen ADDR:PORT`: the HTTP/1.1 front-end over the session's
 /// persistent pool — non-blocking admission, load shedding with `503
 /// Retry-After`, live `/metrics`, graceful drain.
+///
+/// With one or more `--artifact name=path` pairs the server hosts a
+/// model registry instead of a single eager session: each model stays
+/// cold until its first `POST /v1/models/{name}/infer`, and an optional
+/// `--memory-budget-mb` bounds total residency via LRU eviction.
 fn cmd_serve_http(flags: Flags) -> Result<(), CliError> {
     use ascend_http::{HttpConfig, HttpServer};
 
+    if !flags.get_all("artifact").is_empty() {
+        return cmd_serve_http_registry(flags);
+    }
     let engine_path = PathBuf::from(flags.require("engine")?);
     let backend = parse_backend(&flags)?;
     let listen = flags.require("listen")?.to_string();
@@ -506,6 +536,96 @@ fn cmd_serve_http(flags: Flags) -> Result<(), CliError> {
         },
         conn_workers,
     );
+    run_http_server(server, port_file, duration_secs)
+}
+
+/// Multi-model `serve --listen`: every `--artifact name=path` registers a
+/// lazily-warmed model behind `POST /v1/models/{name}/infer`.
+fn cmd_serve_http_registry(flags: Flags) -> Result<(), CliError> {
+    use ascend_http::{HttpConfig, HttpServer};
+    use ascend_registry::{ModelRegistry, ModelSpec, RegistryConfig};
+
+    let mut models: Vec<(String, PathBuf)> = Vec::new();
+    for pair in flags.get_all("artifact") {
+        let Some((name, path)) = pair.split_once('=') else {
+            return Err(CliError::Usage(format!(
+                "--artifact expects name=path, got `{pair}`"
+            )));
+        };
+        if name.is_empty() || path.is_empty() {
+            return Err(CliError::Usage(format!(
+                "--artifact expects name=path with both sides non-empty, got `{pair}`"
+            )));
+        }
+        models.push((name.to_string(), PathBuf::from(path)));
+    }
+    if flags.get("engine").is_some() {
+        return Err(CliError::Usage(
+            "--engine serves a single model; with --artifact name=path every model \
+             comes from the registry"
+                .into(),
+        ));
+    }
+    let backend = parse_backend(&flags)?;
+    let listen = flags.require("listen")?.to_string();
+    let workers: usize = flags.get_parsed("workers", 0)?;
+    let micro_batch: usize = flags.get_parsed("micro-batch", 4)?;
+    let queue_depth: Option<usize> = match flags.get("queue-depth") {
+        None => None,
+        Some(_) => Some(flags.get_parsed("queue-depth", 0)?),
+    };
+    let conn_workers: usize = flags.get_parsed("conn-workers", 4)?;
+    let keep_alive_requests: usize = flags.get_parsed("keep-alive-requests", 1024)?;
+    let port_file = flags.get("port-file").map(PathBuf::from);
+    let duration_secs: u64 = flags.get_parsed("duration-secs", 0)?;
+    let memory_budget_mb: usize = flags.get_parsed("memory-budget-mb", 0)?;
+    flags.reject_unknown()?;
+
+    // Same bounded default as the single-model path: 4 × resolved workers.
+    let base = ascend::serve::ServeConfig { workers, micro_batch, queue_depth: 0 };
+    let serve = ascend::serve::ServeConfig {
+        queue_depth: queue_depth.unwrap_or(4 * base.resolved_workers()),
+        ..base
+    };
+    let registry = std::sync::Arc::new(ModelRegistry::new(RegistryConfig {
+        memory_budget_bytes: memory_budget_mb.saturating_mul(1024 * 1024),
+        ..Default::default()
+    }));
+    for (name, path) in &models {
+        registry
+            .register(ModelSpec::artifact(name.as_str(), path.as_path()).backend(backend).serve(serve))?;
+    }
+
+    let mut http = HttpConfig::new(listen);
+    http.conn_workers = conn_workers;
+    http.keep_alive_requests = keep_alive_requests;
+    let server = HttpServer::bind_registry(std::sync::Arc::clone(&registry), http)?;
+    let addr = server.local_addr();
+    println!(
+        "serving {} models over http on {addr} — POST /v1/models/{{name}}/infer, \
+         GET /healthz, GET /metrics (memory budget {}, {} connection handlers)",
+        models.len(),
+        if memory_budget_mb == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{memory_budget_mb} MiB")
+        },
+        conn_workers,
+    );
+    for (name, path) in &models {
+        println!("  model `{name}` <- {} (cold; warms on first request)", path.display());
+    }
+    run_http_server(server, port_file, duration_secs)
+}
+
+/// Shared tail of both HTTP serving modes: publish the bound address for
+/// scripts, then either drain after a deadline or run until killed.
+fn run_http_server(
+    server: ascend_http::HttpServer,
+    port_file: Option<PathBuf>,
+    duration_secs: u64,
+) -> Result<(), CliError> {
+    let addr = server.local_addr();
     if let Some(path) = port_file {
         // Written atomically-enough for scripts: the address only appears
         // once the listener is live.
@@ -673,6 +793,23 @@ mod tests {
         Flags::parse(&args).unwrap()
     }
 
+    fn http_roundtrip(
+        addr: std::net::SocketAddr,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> ascend_http::client::ClientResponse {
+        let stream =
+            std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(2))
+                .expect("connect to served address");
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        ascend_http::client::write_request(&mut writer, method, target, body, true)
+            .expect("write request");
+        ascend_http::client::read_response(&mut reader).expect("read response")
+    }
+
     #[test]
     fn flags_parse_key_value_pairs() {
         let f = flags(&[("out", "m.ckpt"), ("epochs", "5")]);
@@ -719,6 +856,37 @@ mod tests {
         let twice =
             ["serve", "--engine", "x.sceng", "--workers", "1", "--workers", "2"].map(String::from);
         assert_eq!(run(&twice), 2, "duplicated --workers must exit 2");
+    }
+
+    #[test]
+    fn repeatable_artifact_flags_accumulate_in_order() {
+        let args = ["--artifact", "a=x.sceng", "--artifact", "b=y.sceng"].map(String::from);
+        let f = Flags::parse(&args).expect("repeated --artifact must parse");
+        assert_eq!(f.get_all("artifact"), vec!["a=x.sceng", "b=y.sceng"]);
+        assert!(f.reject_unknown().is_ok(), "get_all must mark the flag consumed");
+        // Absence is an empty list, not an error.
+        assert!(flags(&[("listen", "x")]).get_all("artifact").is_empty());
+    }
+
+    #[test]
+    fn registry_flag_misuse_exits_2_before_touching_any_file() {
+        let no_listen = ["serve", "--artifact", "a=x.sceng"].map(String::from);
+        assert_eq!(run(&no_listen), 2, "--artifact without --listen must be a usage error");
+
+        let bad_pair =
+            ["serve", "--listen", "127.0.0.1:0", "--artifact", "noequals"].map(String::from);
+        assert_eq!(run(&bad_pair), 2, "--artifact without name=path must be a usage error");
+
+        let empty_name =
+            ["serve", "--listen", "127.0.0.1:0", "--artifact", "=x.sceng"].map(String::from);
+        assert_eq!(run(&empty_name), 2, "--artifact with an empty name must be a usage error");
+
+        let both = [
+            "serve", "--listen", "127.0.0.1:0", "--artifact", "a=x.sceng", "--engine",
+            "y.sceng",
+        ]
+        .map(String::from);
+        assert_eq!(run(&both), 2, "--engine and --artifact together must be a usage error");
     }
 
     #[test]
@@ -905,6 +1073,52 @@ mod tests {
         let text = String::from_utf8(response.body).unwrap();
         assert!(text.contains("ascend_queue_capacity 4\n"), "{text}");
         assert_eq!(server.join().unwrap(), 0, "serve --listen failed");
+
+        // Multi-model registry leg: two names over the same compiled
+        // engine, each lazily warmed behind POST /v1/models/{name}/infer.
+        let registry_pf = dir.join("addr2.txt");
+        let rpf = registry_pf.display().to_string();
+        let alpha = format!("alpha={eng}");
+        let beta = format!("beta={eng}");
+        let serve_registry = [
+            "serve", "--listen", "127.0.0.1:0", "--artifact", &alpha, "--artifact", &beta,
+            "--memory-budget-mb", "64", "--port-file", &rpf, "--duration-secs", "4",
+            "--workers", "2",
+        ]
+        .map(String::from);
+        let server = std::thread::spawn(move || run(&serve_registry));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&registry_pf) {
+                if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "registry never wrote --port-file");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        // Everything is cold, so the process reports not-ready.
+        assert_eq!(http_roundtrip(addr, "GET", "/healthz", &[]).status, 503);
+        // Trained at the defaults: 8×8 image, 4×4 patches → 4 patches of
+        // 3·4·4 floats each.
+        let payload = ascend_http::encode_infer_request(&vec![0.1f32; 4 * 48], 1);
+        let ok = http_roundtrip(addr, "POST", "/v1/models/alpha/infer", &payload);
+        assert_eq!(
+            ok.status,
+            200,
+            "registry infer failed: {}",
+            String::from_utf8_lossy(&ok.body)
+        );
+        let health = http_roundtrip(addr, "GET", "/healthz", &[]);
+        assert_eq!(health.status, 200, "one warm model must make the process ready");
+        let body = String::from_utf8(health.body).unwrap();
+        assert!(body.contains("alpha=warm") && body.contains("beta=cold"), "{body}");
+        assert_eq!(http_roundtrip(addr, "POST", "/v1/models/ghost/infer", &payload).status, 404);
+        let scrape = http_roundtrip(addr, "GET", "/metrics", &[]);
+        let text = String::from_utf8(scrape.body).unwrap();
+        assert!(text.contains("ascend_model_state{model=\"alpha\"} 2"), "{text}");
+        assert!(text.contains("ascend_model_state{model=\"beta\"} 0"), "{text}");
+        assert_eq!(server.join().unwrap(), 0, "registry serve exited nonzero");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -26,7 +26,10 @@ use std::path::Path;
 use ascend_io::checkpoint::{
     check_config, get_plan, get_vit_config, put_plan, put_vit_config, ModelCheckpoint,
 };
-use ascend_io::format::{Artifact, ArtifactKind, ArtifactWriter, SectionReader, SectionWriter};
+use ascend_io::format::{
+    Artifact, ArtifactKind, ArtifactReader, ArtifactWriter, SectionReader, SectionSource,
+    SectionWriter,
+};
 use sc_core::encoding::Thermometer;
 use sc_core::rescale::RescaleMode;
 use sc_core::ScError;
@@ -118,21 +121,37 @@ impl ScEngine {
     /// propagates codec/block construction errors for invalid stored
     /// parameters.
     pub fn from_artifact(art: &Artifact) -> Result<ScEngine, ScError> {
-        art.expect_kind(ArtifactKind::Engine)?;
+        Self::from_source(art)
+    }
 
-        let mut cfg = art.section(TAG_ENGINE_CONFIG)?;
+    /// Reconstructs an engine from any [`SectionSource`] — the eager
+    /// [`Artifact`] or the lazy [`ArtifactReader`]. Reads exactly the
+    /// `ECFG`/`SMAX`/`LAYR`/`HEAD` sections.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::CorruptArtifact`] for kind or section mismatches;
+    /// [`ScError::Io`] if a lazy source fails to read; propagates
+    /// codec/block construction errors for invalid stored parameters.
+    pub fn from_source<S: SectionSource + ?Sized>(src: &S) -> Result<ScEngine, ScError> {
+        src.expect_kind(ArtifactKind::Engine)?;
+
+        let buf = src.section_bytes(TAG_ENGINE_CONFIG)?;
+        let mut cfg = SectionReader::new(TAG_ENGINE_CONFIG, &buf);
         let vit = get_vit_config(&mut cfg)?;
         let plan = get_plan(&mut cfg)?;
         let config = get_engine_config(&mut cfg)?;
         cfg.expect_end()?;
         check_config(&vit)?;
 
-        let mut smax = art.section(TAG_SOFTMAX)?;
+        let buf = src.section_bytes(TAG_SOFTMAX)?;
+        let mut smax = SectionReader::new(TAG_SOFTMAX, &buf);
         let softmax_cfg = get_softmax_config(&mut smax)?;
         smax.expect_end()?;
         let softmax = IterSoftmaxBlock::new(softmax_cfg)?;
 
-        let mut layr = art.section(TAG_LAYERS)?;
+        let buf = src.section_bytes(TAG_LAYERS)?;
+        let mut layr = SectionReader::new(TAG_LAYERS, &buf);
         let n = layr.get_usize()?;
         if n > 1 << 16 {
             return Err(corrupt(format!("implausible layer count {n}")));
@@ -179,7 +198,8 @@ impl ScEngine {
         }
         layr.expect_end()?;
 
-        let mut head = art.section(TAG_HEAD)?;
+        let buf = src.section_bytes(TAG_HEAD)?;
+        let mut head = SectionReader::new(TAG_HEAD, &buf);
         let head_affine = get_affine(&mut head)?;
         let patch_embed = get_linear(&mut head)?;
         let head_lin = get_linear(&mut head)?;
@@ -213,14 +233,17 @@ impl ScEngine {
     }
 
     /// Loads a compiled engine from an artifact file — the serving-process
-    /// entry point: no model, no dataset, no training code.
+    /// entry point: no model, no dataset, no training code. Loading is
+    /// lazy: only the header, section table, and the four engine sections
+    /// are read, each validated by its own CRC.
     ///
     /// # Errors
     ///
-    /// [`ScError::Io`] if the file cannot be read,
-    /// [`ScError::CorruptArtifact`] if verification or parsing fails.
+    /// [`ScError::Io`] if the file cannot be read (`not_found` set when
+    /// the path does not exist), [`ScError::CorruptArtifact`] if
+    /// verification or parsing fails.
     pub fn load(path: &Path) -> Result<ScEngine, ScError> {
-        ScEngine::from_artifact(&Artifact::read_from(path)?)
+        ScEngine::from_source(&ArtifactReader::open(path)?)
     }
 }
 
@@ -431,6 +454,39 @@ mod tests {
             ScEngine::from_artifact(&art),
             Err(ScError::CorruptArtifact { .. })
         ));
+    }
+
+    #[test]
+    fn lazy_load_is_bit_identical_to_eager_parse() {
+        use crate::backend::InferenceBackend;
+
+        let engine = tiny_engine();
+        let dir = std::env::temp_dir().join(format!("ascend-engine-lazy-{}", std::process::id()));
+        let path = dir.join("engine.sceng");
+        engine.save(&path).unwrap();
+
+        let lazy = ScEngine::load(&path).unwrap();
+        let eager = ScEngine::from_artifact(&Artifact::read_from(&path).unwrap()).unwrap();
+
+        let cfg = lazy.vit_config();
+        let n = cfg.num_patches() * cfg.patch_dim();
+        let patches = ascend_tensor::Tensor::from_vec(
+            (0..n).map(|i| ((i * 37 % 113) as f32 - 56.0) / 56.0).collect(),
+            &[cfg.num_patches(), cfg.patch_dim()],
+        );
+        let a = lazy.forward(&patches, 1).unwrap();
+        let b = eager.forward(&patches, 1).unwrap();
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_from_missing_path_is_a_not_found_io_error() {
+        let err =
+            ScEngine::load(Path::new("/nonexistent/ascend/engine.sceng")).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ScError::Io { not_found: true, .. }), "got {err:?}");
     }
 
     #[test]

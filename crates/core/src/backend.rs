@@ -57,6 +57,18 @@ pub trait InferenceBackend: Send + Sync {
     /// The precision plan the backend executes at.
     fn plan(&self) -> &ascend_vit::PrecisionPlan;
 
+    /// Approximate bytes of weight/table data this backend keeps resident
+    /// in memory — what `ascend-registry` charges against its eviction
+    /// budget.
+    ///
+    /// The default estimates from the geometry via
+    /// [`approx_weight_bytes`]; the engine backends override it with an
+    /// exact sum over their materialized buffers. Decorators forward to
+    /// their inner backend (the decorator itself holds no weights).
+    fn resident_bytes(&self) -> usize {
+        approx_weight_bytes(self.vit_config())
+    }
+
     /// Allocates the per-thread scratch buffers
     /// [`InferenceBackend::forward_one`] needs. One instance per thread;
     /// the provided [`InferenceBackend::forward`] keeps one across its
@@ -208,6 +220,24 @@ pub trait InferenceBackend: Send + Sync {
     }
 }
 
+/// Geometry-derived estimate of a backend's resident weight bytes: every
+/// parameter tensor (patch embed, per-layer affines + linears, classifier
+/// head, cls token, positional embedding) at 4 bytes per value. Engine
+/// backends report exact sums instead; this covers custom backends that
+/// don't override [`InferenceBackend::resident_bytes`].
+pub fn approx_weight_bytes(cfg: &ascend_vit::VitConfig) -> usize {
+    let d = cfg.dim;
+    let hidden = d * cfg.mlp_ratio;
+    let per_layer = 4 * d                   // two folded affines (scale + shift each)
+        + 4 * (d * d + d)                   // q, k, v, proj
+        + (d * hidden + hidden)             // fc1
+        + (hidden * d + d); // fc2
+    let head = 2 * d + d * cfg.classes + cfg.classes; // folded affine + classifier
+    let embed = cfg.patch_dim() * d + d;
+    let tokens = d + cfg.seq_len() * d; // cls token + positional embedding
+    (cfg.layers * per_layer + head + embed + tokens) * std::mem::size_of::<f32>()
+}
+
 impl<B: InferenceBackend + ?Sized> InferenceBackend for &B {
     fn name(&self) -> &str {
         (**self).name()
@@ -217,6 +247,9 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for &B {
     }
     fn plan(&self) -> &ascend_vit::PrecisionPlan {
         (**self).plan()
+    }
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
     }
     fn make_scratch(&self) -> ForwardScratch {
         (**self).make_scratch()
@@ -255,6 +288,9 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for Box<B> {
     fn plan(&self) -> &ascend_vit::PrecisionPlan {
         (**self).plan()
     }
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
+    }
     fn make_scratch(&self) -> ForwardScratch {
         (**self).make_scratch()
     }
@@ -291,6 +327,9 @@ impl<B: InferenceBackend + ?Sized> InferenceBackend for std::sync::Arc<B> {
     }
     fn plan(&self) -> &ascend_vit::PrecisionPlan {
         (**self).plan()
+    }
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
     }
     fn make_scratch(&self) -> ForwardScratch {
         (**self).make_scratch()
@@ -420,6 +459,15 @@ impl InferenceBackend for RefEngine {
 
     fn plan(&self) -> &ascend_vit::PrecisionPlan {
         &self.plan
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let f32s = std::mem::size_of::<f32>();
+        self.layers.iter().map(QuantLayerSnapshot::resident_bytes).sum::<usize>()
+            + (self.head_affine.0.len() + self.head_affine.1.len()) * f32s
+            + self.patch_embed.resident_bytes()
+            + self.head.resident_bytes()
+            + (self.cls_token.numel() + self.pos_embedding.numel()) * f32s
     }
 
     fn make_scratch(&self) -> ForwardScratch {
@@ -630,6 +678,10 @@ impl<B: InferenceBackend> InferenceBackend for FaultInjectingBackend<B> {
         self.inner.plan()
     }
 
+    fn resident_bytes(&self) -> usize {
+        self.inner.resident_bytes()
+    }
+
     fn make_scratch(&self) -> ForwardScratch {
         self.inner.make_scratch()
     }
@@ -758,6 +810,22 @@ mod tests {
         let (train, _) = ascend_vit::data::synth_cifar(2, 4, 2, 8, 3);
         let two = train.patches(&[0, 1], 4);
         assert!(engine.forward(&two, 3).is_err(), "3 images claimed, 2 provided");
+    }
+
+    #[test]
+    fn resident_bytes_is_exact_for_ref_engine_and_forwarded_by_decorators() {
+        let engine = RefEngine::compile(&batchnorm_model()).unwrap();
+        let exact = engine.resident_bytes();
+        assert!(exact > 0);
+        // The reference backend's resident state is precisely the parameter
+        // tensors, so the exact sum must equal the geometry estimate.
+        assert_eq!(exact, approx_weight_bytes(engine.vit_config()));
+        // Decorators hold no weights: they forward the inner accounting.
+        let wrapped = FaultInjectingBackend::new(&engine, 0.1, 7).unwrap();
+        assert_eq!(wrapped.resident_bytes(), exact);
+        let arced: std::sync::Arc<dyn InferenceBackend> =
+            std::sync::Arc::new(RefEngine::compile(&batchnorm_model()).unwrap());
+        assert_eq!(arced.resident_bytes(), exact);
     }
 
     #[test]

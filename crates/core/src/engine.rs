@@ -94,6 +94,11 @@ impl QuantLinear {
             b: lin.b.clone(),
         }
     }
+
+    /// Bytes of the materialized weight + bias buffers.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        (self.w.numel() + self.b.numel()) * std::mem::size_of::<f32>()
+    }
 }
 
 /// The frozen per-layer network state every backend executes: folded norm
@@ -148,6 +153,19 @@ impl QuantLayerSnapshot {
             mlp_in_step: mlp_in.step_value(),
             mlp_mid_step: mlp_mid.step_value(),
         }
+    }
+
+    /// Bytes of the snapshot's materialized buffers (affines + linears).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let affines = self.norm1_affine.0.len()
+            + self.norm1_affine.1.len()
+            + self.norm2_affine.0.len()
+            + self.norm2_affine.1.len();
+        affines * std::mem::size_of::<f32>()
+            + [&self.q, &self.k, &self.v, &self.proj, &self.fc1, &self.fc2]
+                .iter()
+                .map(|l| l.resident_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -504,6 +522,22 @@ impl crate::backend::InferenceBackend for ScEngine {
 
     fn plan(&self) -> &ascend_vit::PrecisionPlan {
         &self.plan
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let f32s = std::mem::size_of::<f32>();
+        let layers: usize = self
+            .layers
+            .iter()
+            .map(|lp| {
+                lp.snap.resident_bytes() + std::mem::size_of_val(lp.gelu.ones_table())
+            })
+            .sum();
+        layers
+            + (self.head_affine.0.len() + self.head_affine.1.len()) * f32s
+            + self.patch_embed.resident_bytes()
+            + self.head.resident_bytes()
+            + (self.cls_token.numel() + self.pos_embedding.numel()) * f32s
     }
 
     fn make_scratch(&self) -> ForwardScratch {

@@ -204,6 +204,10 @@ impl<B: InferenceBackend> InferenceBackend for InstrumentedBackend<B> {
         self.inner.plan()
     }
 
+    fn resident_bytes(&self) -> usize {
+        self.inner.resident_bytes()
+    }
+
     fn make_scratch(&self) -> ForwardScratch {
         self.inner.make_scratch()
     }

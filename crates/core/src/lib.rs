@@ -83,4 +83,4 @@ pub use serve::{
     BatchRunner, JobTiming, PoolObs, ServeConfig, ServeHandle, ServeOutcome, ServePool,
     ServeReport, ServeRequest,
 };
-pub use session::{BackendKind, Session, SessionBuilder};
+pub use session::{load_backend, BackendKind, Session, SessionBuilder};

@@ -560,6 +560,7 @@ impl<B: InferenceBackend + ?Sized + 'static> ServePool<B> {
                     .map_err(|e| ScError::Io {
                         path: format!("thread ascend-serve-{i}"),
                         reason: e.to_string(),
+                        not_found: false,
                     })
             })
             .collect::<Result<Vec<_>, _>>()?;

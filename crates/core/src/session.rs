@@ -35,7 +35,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
-use ascend_io::format::{Artifact, ArtifactKind};
+use ascend_io::format::{ArtifactKind, ArtifactReader};
 use ascend_io::ModelCheckpoint;
 use ascend_tensor::Tensor;
 use sc_core::ScError;
@@ -245,15 +245,6 @@ impl SessionBuilder {
         }
 
         let kind = self.kind;
-        // The artifact itself is valid — only the backend request cannot be
-        // satisfied from it — so this is a parameter error, not corruption.
-        let need_ckpt = || ScError::InvalidParam {
-            name: "backend",
-            reason: format!(
-                "the `{kind}` backend compiles from a model checkpoint; \
-                 this artifact is a pre-compiled SC engine — pass the checkpoint instead"
-            ),
-        };
         let backend: Box<dyn InferenceBackend> = match source {
             Source::Engine(engine) => {
                 if kind != BackendKind::Sc {
@@ -268,19 +259,7 @@ impl SessionBuilder {
                 Box::new(*engine)
             }
             Source::Checkpoint(ckpt) => Self::compile(kind, &ckpt, self.engine_config)?,
-            Source::Path(path) => {
-                let art = Artifact::read_from(&path)?;
-                match art.kind() {
-                    ArtifactKind::Engine => match kind {
-                        BackendKind::Sc => Box::new(ScEngine::from_artifact(&art)?),
-                        BackendKind::Ref => return Err(need_ckpt()),
-                    },
-                    ArtifactKind::ModelCheckpoint => {
-                        let ckpt = ModelCheckpoint::from_artifact(&art)?;
-                        Self::compile(kind, &ckpt, self.engine_config)?
-                    }
-                }
-            }
+            Source::Path(path) => load_backend(&path, kind, self.engine_config)?,
         };
         let backend: Box<dyn InferenceBackend> = match self.fault {
             None => backend,
@@ -303,6 +282,46 @@ impl SessionBuilder {
             BackendKind::Sc => Box::new(ScEngine::compile_from_checkpoint(ckpt, cfg)?),
             BackendKind::Ref => Box::new(RefEngine::compile_from_checkpoint(ckpt)?),
         })
+    }
+}
+
+/// Loads (or compiles) the backend for `kind` from an artifact file — the
+/// one artifact-to-backend path shared by [`SessionBuilder::build`] and
+/// `ascend-registry`'s lazy warming. The artifact kind is sniffed from the
+/// container header via a lazy [`ArtifactReader`], so only the sections
+/// the decoder touches are read and CRC-checked.
+///
+/// # Errors
+///
+/// [`ScError::Io`] (with `not_found` set for a missing file) if the
+/// artifact cannot be read, [`ScError::CorruptArtifact`] for a malformed
+/// one, [`ScError::InvalidParam`] if the requested backend cannot be built
+/// from the artifact (the reference backend needs a model checkpoint, not
+/// a pre-compiled engine), plus compilation errors.
+pub fn load_backend(
+    path: &Path,
+    kind: BackendKind,
+    engine_config: EngineConfig,
+) -> Result<Box<dyn InferenceBackend>, ScError> {
+    let reader = ArtifactReader::open(path)?;
+    match reader.kind() {
+        ArtifactKind::Engine => match kind {
+            BackendKind::Sc => Ok(Box::new(ScEngine::from_source(&reader)?)),
+            // The artifact itself is valid — only the backend request
+            // cannot be satisfied from it — so this is a parameter error,
+            // not corruption.
+            BackendKind::Ref => Err(ScError::InvalidParam {
+                name: "backend",
+                reason: format!(
+                    "the `{kind}` backend compiles from a model checkpoint; \
+                     this artifact is a pre-compiled SC engine — pass the checkpoint instead"
+                ),
+            }),
+        },
+        ArtifactKind::ModelCheckpoint => {
+            let ckpt = ModelCheckpoint::from_source(&reader)?;
+            SessionBuilder::compile(kind, &ckpt, engine_config)
+        }
     }
 }
 
@@ -548,11 +567,35 @@ mod tests {
 
     #[test]
     fn missing_artifact_file_is_an_io_error() {
+        // Satellite of the registry work: a plain file miss must surface
+        // as a typed not-found Io error (HTTP 404), never as corruption.
         let err = Session::builder()
             .artifact("/nonexistent/no-such.ckpt")
             .build()
             .map(|_| ())
             .unwrap_err();
-        assert!(matches!(err, ScError::Io { .. }), "got {err:?}");
+        assert!(matches!(err, ScError::Io { not_found: true, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn load_backend_distinguishes_not_found_from_corruption() {
+        let err = load_backend(
+            Path::new("/nonexistent/no-such.sceng"),
+            BackendKind::Sc,
+            EngineConfig::default(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, ScError::Io { not_found: true, .. }), "got {err:?}");
+
+        let dir = std::env::temp_dir().join(format!("ascend-loadbk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbage = dir.join("garbage.sceng");
+        std::fs::write(&garbage, b"ASCNDARTthis is not a valid artifact").unwrap();
+        let err = load_backend(&garbage, BackendKind::Sc, EngineConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ScError::CorruptArtifact { .. }), "got {err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

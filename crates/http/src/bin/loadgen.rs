@@ -35,6 +35,14 @@ use ascend_http::{client, HttpConfig, HttpServer};
 
 struct Args {
     engine: String,
+    /// Registry mode: `--artifact name=path` pairs (replaces `--engine`).
+    artifacts: Vec<(String, String)>,
+    /// Round-robin request targets in registry mode (default: every
+    /// registered model, in registration order).
+    models: Vec<String>,
+    /// Registry memory budget: byte count, or `single` for
+    /// "largest model only" (forces LRU eviction under round-robin).
+    budget: Option<String>,
     backend: BackendKind,
     connections: usize,
     requests: usize,
@@ -51,9 +59,18 @@ loadgen — stress smoke for the ascend-http serving front-end
 
 usage:
     loadgen --engine PATH [options]
+    loadgen --artifact NAME=PATH [--artifact NAME=PATH ...] [options]
 
 options:
-    --engine PATH       engine or checkpoint artifact to serve (required)
+    --engine PATH       engine or checkpoint artifact to serve (required
+                        unless --artifact is given)
+    --artifact N=P      registry mode: host model N from artifact P behind
+                        POST /v1/models/N/infer (repeatable)
+    --model NAME        registry mode: round-robin requests across these
+                        models (repeatable; default: all registered models)
+    --budget B          registry mode: memory budget in bytes, or `single`
+                        to admit only the largest model at a time (forces
+                        LRU eviction; the run fails if none happens)
     --backend sc|ref    inference backend (sc; ref needs a checkpoint)
     --requests N        total requests across all connections (200)
     --connections N     concurrent keep-alive client connections (8)
@@ -71,6 +88,9 @@ options:
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         engine: String::new(),
+        artifacts: Vec::new(),
+        models: Vec::new(),
+        budget: None,
         backend: BackendKind::Sc,
         connections: 8,
         requests: 200,
@@ -94,6 +114,17 @@ fn parse_args() -> Result<Args, String> {
         let parse = |v: &str| v.parse::<usize>().map_err(|_| format!("bad number for {flag}: {v}"));
         match flag.as_str() {
             "--engine" => args.engine = value,
+            "--artifact" => {
+                let Some((name, path)) = value.split_once('=') else {
+                    return Err(format!("--artifact expects NAME=PATH, got `{value}`"));
+                };
+                if name.is_empty() || path.is_empty() {
+                    return Err(format!("--artifact expects NAME=PATH, got `{value}`"));
+                }
+                args.artifacts.push((name.to_string(), path.to_string()));
+            }
+            "--model" => args.models.push(value),
+            "--budget" => args.budget = Some(value),
             "--backend" => {
                 args.backend = match value.as_str() {
                     "sc" => BackendKind::Sc,
@@ -111,13 +142,33 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
     }
-    if args.engine.is_empty() {
-        return Err(format!("--engine is required\n\n{USAGE}"));
+    if args.artifacts.is_empty() {
+        if args.engine.is_empty() {
+            return Err(format!("--engine is required\n\n{USAGE}"));
+        }
+        if !args.models.is_empty() || args.budget.is_some() {
+            return Err("--model and --budget only apply with --artifact".into());
+        }
+    } else if !args.engine.is_empty() {
+        return Err("--engine and --artifact are mutually exclusive".into());
+    }
+    for model in &args.models {
+        if !args.artifacts.iter().any(|(n, _)| n == model) {
+            return Err(format!("--model {model} names no registered --artifact"));
+        }
     }
     if args.requests == 0 || args.connections == 0 || args.images == 0 {
         return Err("--requests, --connections, and --images must be nonzero".into());
     }
     Ok(args)
+}
+
+/// One round-robin request target: the URL path plus the payload it
+/// carries and the serial-forward bytes every 200 must equal.
+struct Target {
+    path: String,
+    payload: Vec<u8>,
+    expected: Vec<u8>,
 }
 
 /// Everything one client thread tallies.
@@ -133,6 +184,9 @@ struct Tally {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if !args.artifacts.is_empty() {
+        return run_registry(args);
+    }
 
     // The served session: bounded queue so overload actually sheds.
     let session = Session::builder()
@@ -150,14 +204,16 @@ fn run() -> Result<(), String> {
     let values = args.images * vit.num_patches() * vit.patch_dim();
     let patches: Vec<f32> =
         (0..values).map(|i| (i % 17) as f32 * 0.0625 - 0.5).collect();
-    let payload = Arc::new(ascend_http::encode_infer_request(&patches, args.images));
+    let payload = ascend_http::encode_infer_request(&patches, args.images);
     let (tensor, images) = ascend_http::decode_infer_request(&payload, vit)
         .map_err(|e| format!("self-check: payload does not decode: {e}"))?;
     let serial = session
         .backend()
         .forward(&tensor, images)
         .map_err(|e| format!("serial reference forward failed: {e}"))?;
-    let expected = Arc::new(ascend_http::encode_logits(&serial, images, vit.classes));
+    let expected = ascend_http::encode_logits(&serial, images, vit.classes);
+    let targets =
+        Arc::new(vec![Target { path: "/v1/infer".into(), payload, expected }]);
 
     let mut cfg = HttpConfig::new("127.0.0.1:0");
     cfg.conn_workers = args.conn_workers;
@@ -180,11 +236,10 @@ fn run() -> Result<(), String> {
     for _ in 0..args.connections {
         let tally = Arc::clone(&tally);
         let next = Arc::clone(&next);
-        let payload = Arc::clone(&payload);
-        let expected = Arc::clone(&expected);
+        let targets = Arc::clone(&targets);
         let latencies = Arc::clone(&latencies);
         clients.push(std::thread::spawn(move || {
-            client_loop(addr, args.requests, &next, &payload, &expected, &tally, &latencies);
+            client_loop(addr, args.requests, &next, &targets, &tally, &latencies);
         }));
     }
     for c in clients {
@@ -284,20 +339,257 @@ fn run() -> Result<(), String> {
     }
 }
 
+/// Registry mode: host every `--artifact` behind one listener, round-robin
+/// the storm across `--model` targets, and — on top of the single-model
+/// contract — verify the multi-model one:
+///
+/// * every model's 200 bodies are byte-identical to a serial forward of
+///   that model, even while LRU eviction thrashes residency;
+/// * with a `--budget` and ≥2 trafficked models, at least one eviction
+///   actually happened (the budget was not silently ignored);
+/// * `/metrics` carries the per-model registry gauges at the end.
+fn run_registry(args: Args) -> Result<(), String> {
+    use ascend_registry::{ModelRegistry, ModelSpec, RegistryConfig};
+
+    let serve_cfg = ascend::serve::ServeConfig {
+        workers: args.workers,
+        micro_batch: 4,
+        queue_depth: args.queue_depth,
+    };
+
+    // Per-model payloads and expected bodies from throwaway serial
+    // sessions, computed before the server exists so the reference is
+    // independent of everything under test. Also each model's resident
+    // size, which `--budget single` needs.
+    let mut per_model: Vec<(String, Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for (name, path) in &args.artifacts {
+        let session = Session::builder()
+            .artifact(path)
+            .backend(args.backend)
+            .build()
+            .map_err(|e| format!("model `{name}`: serial session build failed: {e}"))?;
+        let vit = session.backend().vit_config();
+        let values = args.images * vit.num_patches() * vit.patch_dim();
+        let patches: Vec<f32> =
+            (0..values).map(|i| (i % 17) as f32 * 0.0625 - 0.5).collect();
+        let payload = ascend_http::encode_infer_request(&patches, args.images);
+        let (tensor, images) = ascend_http::decode_infer_request(&payload, vit)
+            .map_err(|e| format!("model `{name}`: payload does not decode: {e}"))?;
+        let serial = session
+            .backend()
+            .forward(&tensor, images)
+            .map_err(|e| format!("model `{name}`: serial forward failed: {e}"))?;
+        let expected = ascend_http::encode_logits(&serial, images, vit.classes);
+        sizes.push(session.backend().resident_bytes());
+        per_model.push((name.clone(), payload, expected));
+    }
+
+    let budget_bytes = match args.budget.as_deref() {
+        None => 0,
+        // `artifacts` is non-empty here (parse_args requires it), so the
+        // max exists; an empty list would mean "unlimited", which is safe.
+        Some("single") => sizes.iter().copied().max().unwrap_or(0),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--budget wants a byte count or `single`, got `{v}`"))?,
+    };
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        memory_budget_bytes: budget_bytes,
+        ..Default::default()
+    }));
+    for (name, path) in &args.artifacts {
+        registry
+            .register(ModelSpec::artifact(name.as_str(), path.as_str()).backend(args.backend).serve(serve_cfg))
+            .map_err(|e| format!("registering `{name}`: {e}"))?;
+    }
+
+    let model_names: Vec<String> = if args.models.is_empty() {
+        args.artifacts.iter().map(|(n, _)| n.clone()).collect()
+    } else {
+        args.models.clone()
+    };
+    let mut targets = Vec::with_capacity(model_names.len());
+    for name in &model_names {
+        let (_, payload, expected) = per_model
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| format!("--model {name} names no registered --artifact"))?;
+        targets.push(Target {
+            path: format!("/v1/models/{name}/infer"),
+            payload: payload.clone(),
+            expected: expected.clone(),
+        });
+    }
+    let targets = Arc::new(targets);
+
+    let mut cfg = HttpConfig::new("127.0.0.1:0");
+    cfg.conn_workers = args.conn_workers;
+    let server = HttpServer::bind_registry(Arc::clone(&registry), cfg)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "loadgen: registry of {} models on {addr} (round-robin over {:?}, budget {})",
+        args.artifacts.len(),
+        model_names,
+        if budget_bytes == 0 { "unlimited".to_string() } else { format!("{budget_bytes} B") },
+    );
+
+    let tally = Arc::new(Tally::default());
+    let next = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(std::sync::Mutex::new(Vec::with_capacity(args.requests)));
+    let started = Instant::now();
+    let mut clients = Vec::with_capacity(args.connections);
+    for _ in 0..args.connections {
+        let tally = Arc::clone(&tally);
+        let next = Arc::clone(&next);
+        let targets = Arc::clone(&targets);
+        let latencies = Arc::clone(&latencies);
+        clients.push(std::thread::spawn(move || {
+            client_loop(addr, args.requests, &next, &targets, &tally, &latencies);
+        }));
+    }
+    for c in clients {
+        let _ = c.join();
+    }
+    let wall = started.elapsed();
+
+    let metrics_text = fetch_text(addr, "/metrics")?;
+
+    // Graceful drain: this returning IS the assertion.
+    server.shutdown_handle().shutdown();
+    server.join();
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
+    let evictions: u64 = args
+        .artifacts
+        .iter()
+        .map(|(n, _)| registry.evictions_total(n).unwrap_or(0))
+        .sum();
+    let loads: u64 =
+        args.artifacts.iter().map(|(n, _)| registry.loads_total(n).unwrap_or(0)).sum();
+    let lat = {
+        let mut guard = latencies.lock().map_err(|_| "latency lock poisoned".to_string())?;
+        std::mem::take(&mut *guard)
+    };
+    let report = ServeReport::from_parts(lat, wall, ok as usize * args.images, args.workers);
+    eprintln!(
+        "loadgen: {} requests in {:.2}s — {ok} ok, {shed} shed (503), \
+         {loads} model loads, {evictions} evictions, {:.1} images/s",
+        args.requests,
+        wall.as_secs_f64(),
+        report.throughput(),
+    );
+
+    let mut failures = Vec::new();
+    if ok + shed != args.requests as u64 {
+        failures.push(format!(
+            "{} of {} requests got neither 200 nor 503",
+            args.requests as u64 - (ok + shed),
+            args.requests
+        ));
+    }
+    if ok == 0 {
+        failures.push("no request succeeded at all".into());
+    }
+    for (count, what) in [
+        (tally.unexpected_status.load(Ordering::Relaxed), "unexpected status"),
+        (tally.body_mismatch.load(Ordering::Relaxed), "200 body != serial forward bytes"),
+        (tally.shed_without_retry_after.load(Ordering::Relaxed), "503 without Retry-After"),
+        (tally.io_failures.load(Ordering::Relaxed), "request dropped on i/o error"),
+    ] {
+        if count > 0 {
+            failures.push(format!("{count} × {what}"));
+        }
+    }
+    for (name, _) in &args.artifacts {
+        if !metrics_text.contains(&format!("ascend_model_state{{model=\"{name}\"}}")) {
+            failures.push(format!("/metrics lacks the state gauge for model `{name}`"));
+        }
+    }
+    if !metrics_text.contains("ascend_registry_resident_bytes") {
+        failures.push("/metrics lacks the registry residency gauge".into());
+    }
+    if budget_bytes > 0 && model_names.len() >= 2 && evictions == 0 {
+        failures.push(format!(
+            "budget {budget_bytes} B with {} round-robin models forced no eviction",
+            model_names.len()
+        ));
+    }
+
+    if let Some(path) = &args.bench_json {
+        // Cold-load vs lazy shared-load on a throwaway registry: two
+        // names over one artifact, so the second acquire hits the
+        // weak-cache and shares the first's weights instead of reading
+        // the file again.
+        let artifact = &args.artifacts[0].1;
+        let probe = ModelRegistry::new(RegistryConfig::default());
+        for name in ["cold-probe", "shared-probe"] {
+            probe
+                .register(
+                    ModelSpec::artifact(name, artifact.as_str())
+                        .backend(args.backend)
+                        .serve(serve_cfg),
+                )
+                .map_err(|e| format!("bench probe register failed: {e}"))?;
+        }
+        let t0 = Instant::now();
+        probe.acquire("cold-probe").map_err(|e| format!("bench cold load failed: {e}"))?;
+        let cold = t0.elapsed();
+        let t1 = Instant::now();
+        probe.acquire("shared-probe").map_err(|e| format!("bench shared load failed: {e}"))?;
+        let shared = t1.elapsed();
+
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let record = ascend_obs::BenchRecord::new("registry")
+            .num("cold_load_ms", ms(cold))
+            .num("shared_load_ms", ms(shared))
+            .num("images_per_s", report.throughput())
+            .num("p50_ms", ms(report.latency_percentile(50.0)))
+            .num("p95_ms", ms(report.latency_percentile(95.0)))
+            .num("wall_s", wall.as_secs_f64())
+            .int("ok", ok)
+            .int("shed", shed)
+            .int("model_loads", loads)
+            .int("evictions", evictions)
+            .int("models", args.artifacts.len() as u64)
+            .int("requests", args.requests as u64)
+            .int("budget_bytes", budget_bytes as u64);
+        record
+            .write_merged(std::path::Path::new(path))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("loadgen: merged \"registry\" record into {path}");
+    }
+
+    if failures.is_empty() {
+        eprintln!("loadgen: PASS");
+        Ok(())
+    } else {
+        Err(format!("loadgen: FAIL\n  {}", failures.join("\n  ")))
+    }
+}
+
 /// One client thread: keep a connection alive, claim request slots off
-/// the shared counter, and tally every outcome. Reconnects when the
-/// server closes the connection (keep-alive cap, shed, or drain).
+/// the shared counter (round-robin over `targets` by slot number), and
+/// tally every outcome. Reconnects when the server closes the connection
+/// (keep-alive cap, shed, or drain).
 fn client_loop(
     addr: std::net::SocketAddr,
     total: usize,
     next: &AtomicUsize,
-    payload: &[u8],
-    expected: &[u8],
+    targets: &[Target],
     tally: &Tally,
     latencies: &std::sync::Mutex<Vec<Duration>>,
 ) {
     let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
-    while next.fetch_add(1, Ordering::Relaxed) < total {
+    loop {
+        let slot = next.fetch_add(1, Ordering::Relaxed);
+        if slot >= total {
+            break;
+        }
+        let target = &targets[slot % targets.len()];
         // Each claimed slot gets a few attempts so a connection the
         // server closed under us (keep-alive cap) is retried, but a
         // genuinely dead server cannot loop forever.
@@ -310,7 +602,9 @@ fn client_loop(
                 continue;
             };
             let sent = Instant::now();
-            if client::write_request(writer, "POST", "/v1/infer", payload, false).is_err() {
+            if client::write_request(writer, "POST", &target.path, &target.payload, false)
+                .is_err()
+            {
                 conn = None;
                 continue;
             }
@@ -324,7 +618,7 @@ fn client_loop(
             match response.status {
                 200 => {
                     tally.ok.fetch_add(1, Ordering::Relaxed);
-                    if response.body != expected {
+                    if response.body != target.expected {
                         tally.body_mismatch.fetch_add(1, Ordering::Relaxed);
                     }
                     if let Ok(mut guard) = latencies.lock() {

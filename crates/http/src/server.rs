@@ -27,6 +27,7 @@ use std::time::Duration;
 use ascend::serve::{JobTiming, ServeRequest};
 use ascend::Session;
 use ascend_obs::TraceId;
+use ascend_registry::{ModelRegistry, ModelState};
 use sc_core::ScError;
 
 use crate::http1::{self, Limits, ParseError, Request, Response};
@@ -56,12 +57,19 @@ impl ShutdownHandle {
     }
 }
 
+/// What the server fronts: one session (`POST /v1/infer`) or a
+/// multi-model registry (`POST /v1/models/{name}/infer`).
+enum ServeTarget {
+    Single(Arc<Session>),
+    Registry(Arc<ModelRegistry>),
+}
+
 /// The running HTTP front-end; see the [module docs](self).
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
-    session: Arc<Session>,
+    target: Arc<ServeTarget>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -78,6 +86,29 @@ impl HttpServer {
     /// `conn_workers`/`keep_alive_requests` or a malformed session
     /// serving configuration.
     pub fn bind(session: Arc<Session>, cfg: HttpConfig) -> Result<HttpServer, ScError> {
+        // Spawn the pool now: the first request must never pay (or trip
+        // over) lazy pool construction.
+        session.runner()?;
+        Self::bind_target(Arc::new(ServeTarget::Single(session)), cfg)
+    }
+
+    /// Binds a **multi-model** front-end over a registry. Nothing is
+    /// loaded at bind time: each model warms lazily on its first
+    /// `POST /v1/models/{name}/infer` (and `GET /healthz` answers `503`
+    /// until at least one model is warm).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HttpServer::bind`], minus the pool spawn
+    /// (pools belong to the registry's warm models).
+    pub fn bind_registry(
+        registry: Arc<ModelRegistry>,
+        cfg: HttpConfig,
+    ) -> Result<HttpServer, ScError> {
+        Self::bind_target(Arc::new(ServeTarget::Registry(registry)), cfg)
+    }
+
+    fn bind_target(target: Arc<ServeTarget>, cfg: HttpConfig) -> Result<HttpServer, ScError> {
         if cfg.conn_workers == 0 {
             return Err(ScError::InvalidParam {
                 name: "conn_workers",
@@ -90,21 +121,14 @@ impl HttpServer {
                 reason: "a connection must be allowed at least one request".into(),
             });
         }
-        // Spawn the pool now: the first request must never pay (or trip
-        // over) lazy pool construction.
-        session.runner()?;
-        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ScError::Io {
-            path: cfg.addr.clone(),
+        let sock_err = |addr: &str, e: std::io::Error| ScError::Io {
+            path: addr.to_string(),
             reason: e.to_string(),
-        })?;
-        let addr = listener.local_addr().map_err(|e| ScError::Io {
-            path: cfg.addr.clone(),
-            reason: e.to_string(),
-        })?;
-        listener.set_nonblocking(true).map_err(|e| ScError::Io {
-            path: cfg.addr.clone(),
-            reason: e.to_string(),
-        })?;
+            not_found: false,
+        };
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| sock_err(&cfg.addr, e))?;
+        let addr = listener.local_addr().map_err(|e| sock_err(&cfg.addr, e))?;
+        listener.set_nonblocking(true).map_err(|e| sock_err(&cfg.addr, e))?;
 
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::new());
@@ -115,11 +139,12 @@ impl HttpServer {
         let spawn_err = |name: &str, e: std::io::Error| ScError::Io {
             path: format!("thread {name}"),
             reason: e.to_string(),
+            not_found: false,
         };
         let mut workers = Vec::with_capacity(cfg.conn_workers);
         for i in 0..cfg.conn_workers {
             let rx = Arc::clone(&conn_rx);
-            let session = Arc::clone(&session);
+            let target = Arc::clone(&target);
             let metrics = Arc::clone(&metrics);
             let cfg = Arc::clone(&cfg);
             let stop = Arc::clone(&stop);
@@ -127,7 +152,7 @@ impl HttpServer {
             workers.push(
                 std::thread::Builder::new()
                     .name(name.clone())
-                    .spawn(move || conn_worker(&rx, &session, &metrics, &cfg, &stop))
+                    .spawn(move || conn_worker(&rx, &target, &metrics, &cfg, &stop))
                     .map_err(|e| spawn_err(&name, e))?,
             );
         }
@@ -140,7 +165,7 @@ impl HttpServer {
                 .spawn(move || accept_loop(&listener, &conn_tx, &stop, &metrics, write_timeout))
                 .map_err(|e| spawn_err("ascend-http-accept", e))?
         };
-        Ok(HttpServer { addr, stop, metrics, session, accept: Some(accept), workers })
+        Ok(HttpServer { addr, stop, metrics, target, accept: Some(accept), workers })
     }
 
     /// The address the listener actually bound (resolves `:0`).
@@ -153,9 +178,21 @@ impl HttpServer {
         &self.metrics
     }
 
-    /// The session this server fronts.
-    pub fn session(&self) -> &Arc<Session> {
-        &self.session
+    /// The session this server fronts (`None` in registry mode).
+    pub fn session(&self) -> Option<&Arc<Session>> {
+        match &*self.target {
+            ServeTarget::Single(session) => Some(session),
+            ServeTarget::Registry(_) => None,
+        }
+    }
+
+    /// The model registry this server fronts (`None` in single-session
+    /// mode).
+    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
+        match &*self.target {
+            ServeTarget::Single(_) => None,
+            ServeTarget::Registry(registry) => Some(registry),
+        }
     }
 
     /// A clonable handle that can stop the server from any thread.
@@ -229,7 +266,7 @@ fn shed_connection(mut stream: TcpStream, write_timeout: Duration) {
 /// A connection-handler thread: pull sockets until the channel closes.
 fn conn_worker(
     rx: &Mutex<Receiver<TcpStream>>,
-    session: &Arc<Session>,
+    target: &ServeTarget,
     metrics: &ServerMetrics,
     cfg: &HttpConfig,
     stop: &AtomicBool,
@@ -246,14 +283,14 @@ fn conn_worker(
             }
         };
         metrics.connections.inc();
-        handle_connection(stream, session, metrics, cfg, stop);
+        handle_connection(stream, target, metrics, cfg, stop);
     }
 }
 
 /// Runs one connection's keep-alive loop to completion.
 fn handle_connection(
     mut stream: TcpStream,
-    session: &Arc<Session>,
+    target: &ServeTarget,
     metrics: &ServerMetrics,
     cfg: &HttpConfig,
     stop: &AtomicBool,
@@ -286,7 +323,7 @@ fn handle_connection(
             }
         };
         let last = served + 1 == cfg.keep_alive_requests;
-        let (response, served_infer) = route(&request, session, metrics);
+        let (response, served_infer) = route(&request, target, metrics);
         // Decide keep-alive AFTER serving: a shutdown that lands while
         // this request was in flight must close (and announce it) now.
         let close =
@@ -322,60 +359,186 @@ fn respond_parse_error(stream: &mut TcpStream, metrics: &ServerMetrics, e: &Pars
     let _ = response.write_to(stream, true);
 }
 
-/// Dispatches one parsed request; a `200 /v1/infer` also returns the
+/// Dispatches one parsed request; a `200` inference also returns the
 /// queue-wait/service timing split and image count for metrics.
 fn route(
     request: &Request,
-    session: &Arc<Session>,
+    target: &ServeTarget,
     metrics: &ServerMetrics,
 ) -> (Response, Option<(JobTiming, usize)>) {
     match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/v1/infer") => infer(request, session),
+        ("POST", "/v1/infer") => match target {
+            ServeTarget::Single(session) => infer(request, session),
+            ServeTarget::Registry(_) => (
+                Response::text(
+                    404,
+                    "this server is multi-model: POST /v1/models/{name}/infer",
+                ),
+                None,
+            ),
+        },
         ("GET", "/v1/infer") | ("HEAD", "/v1/infer") => {
             (Response::text(405, "use POST").with_header("allow", "POST"), None)
         }
-        ("GET", "/metrics") => (Response::text(200, render_metrics(session, metrics)), None),
+        ("GET", "/metrics") => (Response::text(200, render_metrics(target, metrics)), None),
         (_, "/metrics") => {
             (Response::text(405, "use GET").with_header("allow", "GET"), None)
         }
-        ("GET", "/debug/trace") => (render_trace(session), None),
+        ("GET", "/debug/trace") => (render_trace(target), None),
         (_, "/debug/trace") => {
             (Response::text(405, "use GET").with_header("allow", "GET"), None)
         }
-        ("GET", "/") | ("GET", "/healthz") => {
-            (Response::text(200, "ascend-http: ok"), None)
+        ("GET", "/") | ("GET", "/healthz") => (healthz(target), None),
+        (method, path) if path.starts_with("/v1/models/") => {
+            model_route(method, path, request, target)
         }
         _ => (Response::text(404, format!("no route for {}", request.target)), None),
     }
 }
 
+/// Routes `/v1/models/{name}/infer`: look the model up in the registry
+/// (warming it on first use) and serve on its pool. Typed errors map to
+/// HTTP statuses in [`registry_error_response`].
+fn model_route(
+    method: &str,
+    path: &str,
+    request: &Request,
+    target: &ServeTarget,
+) -> (Response, Option<(JobTiming, usize)>) {
+    let ServeTarget::Registry(registry) = target else {
+        return (
+            Response::text(404, "this server fronts a single model: POST /v1/infer"),
+            None,
+        );
+    };
+    let rest = path.strip_prefix("/v1/models/").unwrap_or("");
+    let Some((name, action)) = rest.split_once('/') else {
+        return (Response::text(404, format!("no route for {path}")), None);
+    };
+    match (method, action) {
+        ("POST", "infer") => match registry.acquire(name) {
+            Ok(handle) => infer(request, handle.session()),
+            Err(e) => (registry_error_response(&e), None),
+        },
+        ("GET", "infer") | ("HEAD", "infer") => {
+            (Response::text(405, "use POST").with_header("allow", "POST"), None)
+        }
+        _ => (Response::text(404, format!("no route for {path}")), None),
+    }
+}
+
+/// Maps a registry acquire failure to its HTTP status: unknown model or
+/// missing artifact file is the client's problem (`404`), a model over
+/// the memory budget is transient pressure (`503 Retry-After`), and a
+/// corrupt artifact or other load failure is the server's (`500`).
+fn registry_error_response(e: &ScError) -> Response {
+    match e {
+        ScError::UnknownModel { .. } => Response::text(404, e.to_string()),
+        ScError::Io { not_found: true, .. } => {
+            Response::text(404, format!("model artifact missing: {e}"))
+        }
+        ScError::BudgetExceeded { .. } => {
+            Response::text(503, format!("warming over budget: {e}"))
+                .with_header("retry-after", "1")
+        }
+        ScError::QueueFull { .. } | ScError::PoolGone => shed_response(e),
+        ScError::InvalidParam { .. } => Response::text(400, format!("rejected: {e}")),
+        _ => Response::text(500, format!("model load failed: {e}")),
+    }
+}
+
+/// `GET /healthz`. Single-session mode is healthy once bound (the pool
+/// was spawned eagerly). Registry mode reports one `name=state` line per
+/// model and answers `503 Retry-After` until at least one model is warm,
+/// so orchestrators never route traffic at a process that would eat the
+/// first request's cold-load latency for every model.
+fn healthz(target: &ServeTarget) -> Response {
+    let registry = match target {
+        ServeTarget::Single(_) => return Response::text(200, "ascend-http: ok"),
+        ServeTarget::Registry(registry) => registry,
+    };
+    let states = registry.states();
+    let mut body = String::new();
+    let mut any_warm = false;
+    for (name, state) in &states {
+        any_warm |= *state == ModelState::Warm;
+        body.push_str(&format!("{name}={}\n", state.as_str()));
+    }
+    if states.is_empty() {
+        body.push_str("no models registered\n");
+    }
+    if any_warm {
+        Response::text(200, body)
+    } else {
+        Response::text(503, body).with_header("retry-after", "1")
+    }
+}
+
 /// The `/metrics` body: server counters and the request-latency histogram,
 /// followed by the pool's own registry (queue-wait and service-time
-/// histograms), so one scrape covers the whole request path.
-fn render_metrics(session: &Arc<Session>, metrics: &ServerMetrics) -> String {
-    // The pool exists (bind() spawned it); a failure here means it could
-    // not spawn at all, which bind() already surfaced.
-    match session.runner() {
-        Ok(pool) => {
-            let mut out = metrics.render(
-                pool.queued(),
-                pool.queue_capacity(),
-                pool.in_flight(),
-                pool.workers(),
-            );
-            out.push_str(&pool.obs().render());
-            out
+/// histograms), so one scrape covers the whole request path. In registry
+/// mode the pool gauges are summed across warm models, the registry's
+/// per-model block (state/resident/loads/evictions) follows, and each
+/// warm pool renders its own histograms under a `# model` marker.
+fn render_metrics(target: &ServeTarget, metrics: &ServerMetrics) -> String {
+    let registry = match target {
+        ServeTarget::Single(session) => {
+            // The pool exists (bind() spawned it); a failure here means it
+            // could not spawn at all, which bind() already surfaced.
+            return match session.runner() {
+                Ok(pool) => {
+                    let mut out = metrics.render(
+                        pool.queued(),
+                        pool.queue_capacity(),
+                        pool.in_flight(),
+                        pool.workers(),
+                    );
+                    out.push_str(&pool.obs().render());
+                    out
+                }
+                Err(e) => format!("# pool unavailable: {e}\n"),
+            };
         }
-        Err(e) => format!("# pool unavailable: {e}\n"),
+        ServeTarget::Registry(registry) => registry,
+    };
+    let handles = registry.warm_handles();
+    let (mut queued, mut capacity, mut in_flight, mut workers) = (0usize, 0usize, 0usize, 0usize);
+    let mut pools = Vec::new();
+    for handle in &handles {
+        if let Ok(pool) = handle.session().runner() {
+            queued += pool.queued();
+            capacity += pool.queue_capacity();
+            in_flight += pool.in_flight();
+            workers += pool.workers();
+            pools.push((handle.name(), pool));
+        }
     }
+    let mut out = metrics.render(queued, capacity, in_flight, workers);
+    out.push_str(&registry.metrics_render());
+    for (name, pool) in pools {
+        out.push_str(&format!("# model {name} pool\n"));
+        out.push_str(&pool.obs().render());
+    }
+    out
 }
 
 /// The `GET /debug/trace` body: the pool's recent request spans as
 /// chrome://tracing JSON (load it via `chrome://tracing` or Perfetto).
-fn render_trace(session: &Arc<Session>) -> Response {
-    match session.runner() {
-        Ok(pool) => Response::json(200, pool.obs().trace().to_chrome_json()),
-        Err(e) => Response::text(500, format!("pool unavailable: {e}")),
+/// Registry mode concatenates the warm models' spans.
+fn render_trace(target: &ServeTarget) -> Response {
+    match target {
+        ServeTarget::Single(session) => match session.runner() {
+            Ok(pool) => Response::json(200, pool.obs().trace().to_chrome_json()),
+            Err(e) => Response::text(500, format!("pool unavailable: {e}")),
+        },
+        ServeTarget::Registry(registry) => {
+            let handles = registry.warm_handles();
+            let spans: Vec<String> = handles
+                .iter()
+                .filter_map(|h| Some(h.session().runner().ok()?.obs().trace().to_chrome_json()))
+                .collect();
+            Response::json(200, format!("[{}]", spans.join(",")))
+        }
     }
 }
 
@@ -383,10 +546,7 @@ fn render_trace(session: &Arc<Session>) -> Response {
 /// encode. The admission policy is the whole point: `try_submit` answers
 /// a full queue with `503 Retry-After` immediately instead of blocking
 /// this socket thread until the pool drains.
-fn infer(
-    request: &Request,
-    session: &Arc<Session>,
-) -> (Response, Option<(JobTiming, usize)>) {
+fn infer(request: &Request, session: &Session) -> (Response, Option<(JobTiming, usize)>) {
     let vit = session.backend().vit_config();
     let (patches, images) = match crate::decode_infer_request(&request.body, vit) {
         Ok(decoded) => decoded,

@@ -76,7 +76,11 @@ pub(crate) fn corrupt(reason: String) -> ScError {
 
 /// Maps an `std::io::Error` on `path` into the typed error.
 pub(crate) fn io_err(path: &Path, e: std::io::Error) -> ScError {
-    ScError::Io { path: path.display().to_string(), reason: e.to_string() }
+    ScError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+        not_found: e.kind() == std::io::ErrorKind::NotFound,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -597,6 +601,275 @@ impl Artifact {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lazy per-section access
+// ---------------------------------------------------------------------------
+
+/// Uniform read access to artifact sections.
+///
+/// Implemented by both the eager [`Artifact`] (whole file in memory, every
+/// CRC pre-verified at parse time) and the lazy [`ArtifactReader`] (header +
+/// section table only; payloads are read and CRC-checked on demand).
+/// Decoders written against this trait work identically over either, which
+/// is what lets `ScEngine::load` / `ModelCheckpoint::load` skip reading
+/// sections they never touch.
+pub trait SectionSource {
+    /// The artifact kind declared in the (verified) header.
+    fn kind(&self) -> ArtifactKind;
+
+    /// Whether a section tagged `tag` is present.
+    fn has_section(&self, tag: [u8; 4]) -> bool;
+
+    /// The integrity-verified payload bytes of the section tagged `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::CorruptArtifact`] if the section is absent or fails its
+    /// CRC; [`ScError::Io`] if a lazy source cannot read the file.
+    fn section_bytes(&self, tag: [u8; 4]) -> Result<std::borrow::Cow<'_, [u8]>, ScError>;
+
+    /// Errors unless the artifact is of `want` kind.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::CorruptArtifact`] naming both kinds.
+    fn expect_kind(&self, want: ArtifactKind) -> Result<(), ScError> {
+        let got = self.kind();
+        if got != want {
+            return Err(corrupt(format!("artifact is {got:?}, expected {want:?}")));
+        }
+        Ok(())
+    }
+}
+
+impl SectionSource for Artifact {
+    fn kind(&self) -> ArtifactKind {
+        Artifact::kind(self)
+    }
+
+    fn has_section(&self, tag: [u8; 4]) -> bool {
+        Artifact::has_section(self, tag)
+    }
+
+    fn section_bytes(&self, tag: [u8; 4]) -> Result<std::borrow::Cow<'_, [u8]>, ScError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| std::borrow::Cow::Borrowed(p.as_slice()))
+            .ok_or_else(|| {
+                corrupt(format!("missing section `{}`", String::from_utf8_lossy(&tag)))
+            })
+    }
+}
+
+/// One verified section-table entry held by an [`ArtifactReader`].
+#[derive(Debug, Clone, Copy)]
+struct TableEntry {
+    tag: [u8; 4],
+    crc: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// A lazily-reading artifact handle: opening it reads and verifies only the
+/// 24-byte header and the section table (magic, version, kind, count, header
+/// CRC, contiguous offsets, exact file length), **not** the payloads.
+/// [`ArtifactReader::read_section`] then reads exactly one payload from disk
+/// and validates only that section's CRC — so loading a model whose decoder
+/// touches 4 of 10 sections pays the i/o and checksum cost of 4.
+///
+/// A missing file surfaces as [`ScError::Io`] with `not_found: true` (an
+/// HTTP registry maps that to 404); any malformed structure surfaces as
+/// [`ScError::CorruptArtifact`] exactly as [`Artifact::from_bytes`] would.
+#[derive(Debug)]
+pub struct ArtifactReader {
+    path: std::path::PathBuf,
+    kind: ArtifactKind,
+    entries: Vec<TableEntry>,
+    file: std::sync::Mutex<std::fs::File>,
+}
+
+impl ArtifactReader {
+    /// Opens `path` and verifies the header + section table only.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::Io`] (with `not_found` set for a missing file) if the
+    /// file cannot be opened or read, [`ScError::CorruptArtifact`] if the
+    /// header or table fails any structural check.
+    pub fn open(path: &Path) -> Result<Self, ScError> {
+        use std::io::Read;
+
+        let file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+        let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(corrupt(format!(
+                "file of {file_len} bytes is shorter than the header"
+            )));
+        }
+
+        let mut header = [0u8; HEADER_LEN];
+        (&file).read_exact(&mut header).map_err(|e| io_err(path, e))?;
+        if header[..8] != MAGIC {
+            return Err(corrupt("bad magic — not an ASCEND artifact".into()));
+        }
+        let word = |at: usize| {
+            u32::from_le_bytes([header[at], header[at + 1], header[at + 2], header[at + 3]])
+        };
+        let version = word(8);
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "format version {version} unsupported (reader speaks {FORMAT_VERSION})"
+            )));
+        }
+        let kind = ArtifactKind::from_code(word(12))?;
+        let count = usize::try_from(word(16))
+            .map_err(|_| corrupt(format!("section count {} does not fit usize", word(16))))?;
+        if count > MAX_SECTIONS {
+            return Err(corrupt(format!("section count {count} exceeds the cap {MAX_SECTIONS}")));
+        }
+        let stored_header_crc = word(20);
+
+        let table_len = count * ENTRY_LEN;
+        if file_len < (HEADER_LEN + table_len) as u64 {
+            return Err(corrupt("file truncated inside the section table".into()));
+        }
+        let mut table = vec![0u8; table_len];
+        (&file).read_exact(&mut table).map_err(|e| io_err(path, e))?;
+
+        // Header CRC over [8, 24) (CRC field zeroed via the reserved slot)
+        // + table — same coverage as `Artifact::from_bytes`.
+        let mut covered = Vec::with_capacity(16 + table_len);
+        covered.extend_from_slice(&header[8..20]);
+        covered.extend_from_slice(&0u32.to_le_bytes());
+        covered.extend_from_slice(&table);
+        if crc32(&covered) != stored_header_crc {
+            return Err(corrupt("header CRC mismatch — section table corrupt".into()));
+        }
+
+        let mut entries = Vec::with_capacity(count);
+        let mut expected_offset = (HEADER_LEN + table_len) as u64;
+        for i in 0..count {
+            let e = &table[i * ENTRY_LEN..(i + 1) * ENTRY_LEN];
+            let tag = [e[0], e[1], e[2], e[3]];
+            let crc = u32::from_le_bytes([e[4], e[5], e[6], e[7]]);
+            let offset = u64::from_le_bytes([e[8], e[9], e[10], e[11], e[12], e[13], e[14], e[15]]);
+            let len = u64::from_le_bytes([e[16], e[17], e[18], e[19], e[20], e[21], e[22], e[23]]);
+            if offset != expected_offset {
+                return Err(corrupt(format!(
+                    "section {i} at offset {offset}, expected {expected_offset}"
+                )));
+            }
+            expected_offset = offset
+                .checked_add(len)
+                .ok_or_else(|| corrupt(format!("section {i} length {len} out of range")))?;
+            entries.push(TableEntry { tag, crc, offset, len });
+        }
+        if expected_offset != file_len {
+            return Err(corrupt(format!(
+                "file has {file_len} bytes, sections end at {expected_offset}"
+            )));
+        }
+
+        Ok(ArtifactReader {
+            path: path.to_path_buf(),
+            kind,
+            entries,
+            file: std::sync::Mutex::new(file),
+        })
+    }
+
+    /// The artifact kind (from the verified header — no payload read).
+    pub fn kind(&self) -> ArtifactKind {
+        self.kind
+    }
+
+    /// The path this reader was opened on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a section is present (table lookup — no payload read).
+    pub fn has_section(&self, tag: [u8; 4]) -> bool {
+        self.entries.iter().any(|e| e.tag == tag)
+    }
+
+    /// Tags and payload sizes, in file order (for `ascend-cli info`).
+    pub fn section_index(&self) -> Vec<(String, usize)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                (
+                    String::from_utf8_lossy(&e.tag).into_owned(),
+                    usize::try_from(e.len).unwrap_or(usize::MAX),
+                )
+            })
+            .collect()
+    }
+
+    /// Total payload bytes across all sections — a cheap upper-bound
+    /// estimate of what a full load would materialize, available before
+    /// any payload is read (a registry can budget-check against it).
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+
+    /// Reads exactly the payload of the section tagged `tag` from disk and
+    /// validates only that section's CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::CorruptArtifact`] if the section is absent or its CRC
+    /// does not match, [`ScError::Io`] on a read failure.
+    pub fn read_section(&self, tag: [u8; 4]) -> Result<Vec<u8>, ScError> {
+        use std::io::{Read, Seek, SeekFrom};
+
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.tag == tag)
+            .copied()
+            .ok_or_else(|| {
+                corrupt(format!("missing section `{}`", String::from_utf8_lossy(&tag)))
+            })?;
+        let len = usize::try_from(entry.len)
+            .map_err(|_| corrupt(format!("section payload length {} out of range", entry.len)))?;
+        // `open` proved offsets are contiguous and end exactly at the file
+        // length, so `len` is bounded by the file size: safe to allocate.
+        let mut payload = vec![0u8; len];
+        {
+            let mut file = match self.file.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            file.seek(SeekFrom::Start(entry.offset))
+                .map_err(|e| io_err(&self.path, e))?;
+            file.read_exact(&mut payload).map_err(|e| io_err(&self.path, e))?;
+        }
+        if crc32(&payload) != entry.crc {
+            return Err(corrupt(format!(
+                "section `{}` payload CRC mismatch",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        Ok(payload)
+    }
+}
+
+impl SectionSource for ArtifactReader {
+    fn kind(&self) -> ArtifactKind {
+        ArtifactReader::kind(self)
+    }
+
+    fn has_section(&self, tag: [u8; 4]) -> bool {
+        ArtifactReader::has_section(self, tag)
+    }
+
+    fn section_bytes(&self, tag: [u8; 4]) -> Result<std::borrow::Cow<'_, [u8]>, ScError> {
+        self.read_section(tag).map(std::borrow::Cow::Owned)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +965,123 @@ mod tests {
     #[test]
     fn read_from_missing_file_is_io_error() {
         let err = Artifact::read_from(Path::new("/nonexistent/ascend/artifact")).unwrap_err();
-        assert!(matches!(err, ScError::Io { .. }));
+        assert!(matches!(err, ScError::Io { not_found: true, .. }));
+    }
+
+    /// Writes `tiny_artifact` into a unique temp dir and returns the path.
+    fn on_disk(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ascend-io-lazy-{}-{name}",
+            std::process::id()
+        ));
+        let path = dir.join("t.art");
+        tiny_artifact().write_to(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn lazy_reader_roundtrips_sections_bit_exactly() {
+        let path = on_disk("roundtrip");
+        let rd = ArtifactReader::open(&path).unwrap();
+        assert_eq!(rd.kind(), ArtifactKind::ModelCheckpoint);
+        assert!(rd.has_section(*b"TST1"));
+        assert!(!rd.has_section(*b"NOPE"));
+        assert_eq!(rd.section_index(), vec![("TST1".to_string(), 80), ("TST2".to_string(), 32)]);
+        assert_eq!(rd.total_payload_bytes(), 112);
+
+        let eager = Artifact::read_from(&path).unwrap();
+        for tag in [*b"TST1", *b"TST2"] {
+            let lazy_bytes = rd.read_section(tag).unwrap();
+            let eager_bytes = eager.section_bytes(tag).unwrap();
+            assert_eq!(lazy_bytes.as_slice(), eager_bytes.as_ref());
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_missing_file_is_not_found_io_error() {
+        let err = ArtifactReader::open(Path::new("/nonexistent/ascend/artifact")).unwrap_err();
+        assert!(matches!(err, ScError::Io { not_found: true, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn lazy_reader_missing_section_is_a_typed_corruption_error() {
+        let path = on_disk("missing-section");
+        let rd = ArtifactReader::open(&path).unwrap();
+        assert!(matches!(rd.read_section(*b"NOPE"), Err(ScError::CorruptArtifact { .. })));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_validates_only_the_requested_sections_crc() {
+        // Flip a payload bit inside TST2. The eager reader rejects the whole
+        // file; the lazy reader still serves TST1 (whose CRC is intact) and
+        // only fails when TST2 itself is requested.
+        let path = on_disk("one-bad-section");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1; // final byte lives in TST2's payload
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(matches!(
+            Artifact::read_from(&path),
+            Err(ScError::CorruptArtifact { .. })
+        ));
+        let rd = ArtifactReader::open(&path).unwrap();
+        assert!(rd.read_section(*b"TST1").is_ok());
+        assert!(matches!(rd.read_section(*b"TST2"), Err(ScError::CorruptArtifact { .. })));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_rejects_corrupt_table_and_truncation_at_open() {
+        let path = on_disk("bad-table");
+        let good = std::fs::read(&path).unwrap();
+
+        // Corrupt a table byte: header CRC must fail at open.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 9] ^= 0x40; // inside TST1's offset field
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ArtifactReader::open(&path),
+            Err(ScError::CorruptArtifact { .. })
+        ));
+
+        // Truncate the payload region: the table parses but the end-of-file
+        // check must fail at open, before any section is requested.
+        std::fs::write(&path, &good[..good.len() - 4]).unwrap();
+        assert!(matches!(
+            ArtifactReader::open(&path),
+            Err(ScError::CorruptArtifact { .. })
+        ));
+
+        // Truncate inside the header.
+        std::fs::write(&path, &good[..10]).unwrap();
+        assert!(matches!(
+            ArtifactReader::open(&path),
+            Err(ScError::CorruptArtifact { .. })
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn section_source_is_object_safe_and_uniform_over_both_readers() {
+        let path = on_disk("object-safe");
+        let eager = Artifact::read_from(&path).unwrap();
+        let lazy = ArtifactReader::open(&path).unwrap();
+        let sources: Vec<&dyn SectionSource> = vec![&eager, &lazy];
+        for src in sources {
+            assert_eq!(SectionSource::kind(src), ArtifactKind::ModelCheckpoint);
+            src.expect_kind(ArtifactKind::ModelCheckpoint).unwrap();
+            assert!(matches!(
+                src.expect_kind(ArtifactKind::Engine),
+                Err(ScError::CorruptArtifact { .. })
+            ));
+            let buf = src.section_bytes(*b"TST2").unwrap();
+            let mut r = SectionReader::new(*b"TST2", &buf);
+            assert_eq!(r.get_usize_slice().unwrap(), vec![4, 5, 6]);
+            r.expect_end().unwrap();
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 }

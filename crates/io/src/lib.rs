@@ -57,6 +57,33 @@
 //! and any CRC mismatch with a typed [`sc_core::ScError::CorruptArtifact`]
 //! — `crates/io/tests/corruption.rs` proves every truncation and bit flip
 //! is caught.
+//!
+//! ## Multi-model registry & lazy sections
+//!
+//! The section table already carries every payload's offset, length, and
+//! CRC, so a reader does not have to materialize the whole file to decode a
+//! model. Two access paths share one decoder via the
+//! [`format::SectionSource`] trait:
+//!
+//! * [`format::Artifact`] — **eager**: `read_from` slurps the file and
+//!   verifies every CRC up front. Right for one-shot tools (`info`,
+//!   `eval`) and for corruption tests.
+//! * [`format::ArtifactReader`] — **lazy**: `open` reads and verifies only
+//!   the 24-byte header + table (magic, version, kind, count, header CRC,
+//!   contiguous offsets, exact file length);
+//!   [`format::ArtifactReader::read_section`] then reads one payload from
+//!   disk and validates only that section's CRC. Cold-loading a model in
+//!   `ascend-registry` touches exactly the sections its decoder asks for,
+//!   so load time is dominated by i/o, not whole-file checksumming.
+//!
+//! A missing file surfaces as [`sc_core::ScError::Io`] with
+//! `not_found: true` (the registry's HTTP routes map it to 404); structural
+//! damage stays [`sc_core::ScError::CorruptArtifact`] (500). Decoded
+//! backends are shared `Arc`-style by the registry: M sessions over one
+//! artifact hold one weight copy, and eviction accounting counts each
+//! distinct backend once. Budget semantics, the `Cold → Warming → Warm`
+//! state machine, and `--artifact name=path` examples live in the README's
+//! "Serving over HTTP" section and in `crates/registry`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,4 +92,7 @@ pub mod checkpoint;
 pub mod format;
 
 pub use checkpoint::{CalibBatch, ModelCheckpoint};
-pub use format::{Artifact, ArtifactKind, ArtifactWriter, SectionReader, SectionWriter};
+pub use format::{
+    Artifact, ArtifactKind, ArtifactReader, ArtifactWriter, SectionReader, SectionSource,
+    SectionWriter,
+};

@@ -91,9 +91,12 @@ pub fn crate_of(rel_path: &str) -> String {
 /// `sc-*` kernel crate, the HTTP front-end (`ascend-http` library
 /// code — a panic there kills a socket thread or the listener, so it is
 /// held to the same deny-class bar; the `loadgen` bin is tooling, like
-/// the CLI, and rides the ratchet instead), and the `ascend-obs`
-/// observability primitives (they run inside pool workers and connection
-/// threads — a panic in a metric update takes the request down with it).
+/// the CLI, and rides the ratchet instead), the model registry
+/// (`ascend-registry` — its lock/warm/evict machinery runs on request
+/// threads, and a panic while the slot table is mid-update wedges every
+/// model behind the poisoned mutex), and the `ascend-obs` observability
+/// primitives (they run inside pool workers and connection threads — a
+/// panic in a metric update takes the request down with it).
 fn in_hot_path(rel: &str) -> bool {
     matches!(
         rel,
@@ -106,6 +109,7 @@ fn in_hot_path(rel: &str) -> bool {
         || rel.starts_with("crates/sc-nonlinear/src/")
         || rel.starts_with("crates/sc-hw/src/")
         || rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/registry/src/")
         || (rel.starts_with("crates/http/src/") && !rel.starts_with("crates/http/src/bin/"))
 }
 

@@ -50,6 +50,24 @@ pub enum ScError {
         /// The underlying OS error, rendered to text (kept as a string so
         /// the error type stays `Clone + PartialEq`).
         reason: String,
+        /// `true` when the failure is specifically that the path does not
+        /// exist (`ErrorKind::NotFound`). A serving front-end maps this to
+        /// `404` while every other i/o failure stays a `500`.
+        not_found: bool,
+    },
+    /// A registry lookup named a model that was never registered.
+    UnknownModel {
+        /// The model id the caller asked for.
+        model: String,
+    },
+    /// Warming a model would exceed the registry memory budget even after
+    /// evicting every idle model. The request was refused; an HTTP
+    /// front-end maps this to `503` + `Retry-After`.
+    BudgetExceeded {
+        /// Resident bytes the registry would need to admit the model.
+        needed: usize,
+        /// The configured budget, in bytes.
+        budget: usize,
     },
     /// A bounded admission queue is at capacity and the caller asked not
     /// to block (`try_submit`). The request was **not** enqueued; retry
@@ -78,8 +96,22 @@ impl fmt::Display for ScError {
             ScError::CorruptArtifact { reason } => {
                 write!(f, "corrupt artifact: {reason}")
             }
-            ScError::Io { path, reason } => {
-                write!(f, "i/o failure on `{path}`: {reason}")
+            ScError::Io { path, reason, not_found } => {
+                if *not_found {
+                    write!(f, "no such file `{path}`: {reason}")
+                } else {
+                    write!(f, "i/o failure on `{path}`: {reason}")
+                }
+            }
+            ScError::UnknownModel { model } => {
+                write!(f, "unknown model `{model}`: not registered")
+            }
+            ScError::BudgetExceeded { needed, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded: warming needs {needed} resident bytes \
+                     but the budget is {budget}; retry later"
+                )
             }
             ScError::QueueFull { depth } => {
                 write!(f, "admission queue full ({depth} requests waiting); retry later")
@@ -104,15 +136,43 @@ mod tests {
             ScError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
             ScError::InvalidParam { name: "len", reason: "must be even".into() },
             ScError::CorruptArtifact { reason: "crc mismatch".into() },
-            ScError::Io { path: "model.ckpt".into(), reason: "permission denied".into() },
+            ScError::Io {
+                path: "model.ckpt".into(),
+                reason: "permission denied".into(),
+                not_found: false,
+            },
+            ScError::Io {
+                path: "missing.sceng".into(),
+                reason: "no such file or directory".into(),
+                not_found: true,
+            },
             ScError::QueueFull { depth: 8 },
             ScError::PoolGone,
+            ScError::UnknownModel { model: "alpha".into() },
+            ScError::BudgetExceeded { needed: 4096, budget: 1024 },
         ];
         for c in cases {
             let s = c.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn not_found_io_and_plain_io_render_differently() {
+        let missing = ScError::Io {
+            path: "m.sceng".into(),
+            reason: "gone".into(),
+            not_found: true,
+        };
+        let denied = ScError::Io {
+            path: "m.sceng".into(),
+            reason: "denied".into(),
+            not_found: false,
+        };
+        assert!(missing.to_string().starts_with("no such file"));
+        assert!(denied.to_string().starts_with("i/o failure"));
+        assert_ne!(missing, denied);
     }
 
     #[test]
