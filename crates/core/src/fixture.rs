@@ -208,7 +208,10 @@ pub fn engine_or_load(
     config: EngineConfig,
 ) -> Result<(ScEngine, Dataset, Dataset), ScError> {
     let (model, ckpt, train, test) = train_or_load_full(recipe);
-    let calib = ckpt.calib.as_ref().expect("fixture checkpoints always carry calibration");
+    let calib = ckpt.calib.as_ref().ok_or_else(|| ScError::InvalidParam {
+        name: "checkpoint.calib",
+        reason: "fixture checkpoint carries no calibration batch".to_string(),
+    })?;
     let engine = ScEngine::compile(&model, config, &calib.patches, calib.batch)?;
     Ok((engine, train, test))
 }

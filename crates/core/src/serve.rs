@@ -850,6 +850,7 @@ fn worker_loop<B: InferenceBackend + ?Sized>(
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // ascend-lint: allow(no-blocking-under-lock) -- this IS the worker pull point: the receiver mutex exists only to serialize recv() across workers, guards nothing else, and is released before serving
             match guard.recv() {
                 Ok(job) => job,
                 Err(_) => break, // queue closed: graceful shutdown

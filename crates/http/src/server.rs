@@ -277,6 +277,7 @@ fn conn_worker(
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // ascend-lint: allow(no-blocking-under-lock) -- the handler pull point: the receiver mutex only serializes recv() across connection workers and is dropped before the socket is served
             match guard.recv() {
                 Ok(stream) => stream,
                 Err(_) => break, // accept loop gone: shutdown

@@ -42,7 +42,13 @@ impl GatedBackend {
     }
 
     fn open(&self) {
-        *self.gate.lock().unwrap() = true;
+        // Poison-recovery so one panicked worker cannot cascade
+        // PoisonError panics through every other gated thread.
+        let mut open = match self.gate.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *open = true;
         self.opened.notify_all();
     }
 }
@@ -65,9 +71,15 @@ impl InferenceBackend for GatedBackend {
         patches: &Tensor,
         _scratch: &mut ForwardScratch,
     ) -> Result<Vec<f32>, ScError> {
-        let mut open = self.gate.lock().unwrap();
+        let mut open = match self.gate.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         while !*open {
-            open = self.opened.wait(open).unwrap();
+            open = match self.opened.wait(open) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
         drop(open);
         let sum: f32 = patches.data().iter().sum();

@@ -12,6 +12,9 @@
 //! * [`lexer`] — a real Rust surface lexer (comments, strings, raw
 //!   strings, char literals, `#[cfg(test)]` regions), so rules never fire
 //!   on commented-out or test code.
+//! * [`scope`] — brace/scope structure over the token stream: function
+//!   boundaries, lock-guard binding lifetimes, blocking/wait/call events
+//!   — the substrate for the concurrency-discipline rules.
 //! * [`rules`] — the invariant catalog (see `RULES.md`).
 //! * [`waiver`] — `// ascend-lint: allow(rule) -- reason` escape hatch
 //!   with a mandatory justification; unused and malformed waivers are
@@ -24,8 +27,10 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod json;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod scope;
 pub mod waiver;
 pub mod workspace;

@@ -1,6 +1,10 @@
-//! Human-readable renderings of a lint run.
+//! Renderings of a lint run: the default text form, GitHub Actions
+//! workflow commands (`--format github`, annotations land on the
+//! offending line in the PR diff), and a machine-readable JSON document
+//! (`--format json`).
 
 use crate::baseline::{self, Baseline};
+use crate::json;
 use crate::workspace::Outcome;
 
 /// The `--check` result: pass/fail plus the lines to print.
@@ -69,9 +73,121 @@ pub fn full_report(outcome: &Outcome, baseline: &Baseline) -> String {
     out
 }
 
+/// Escapes message *data* for a GitHub workflow command.
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command *property* value (file, title), which
+/// additionally reserves `:` and `,`.
+fn gh_prop(s: &str) -> String {
+    gh_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// The `--format github` rendering: one `::error` annotation per deny
+/// violation anchored at its file and line, ratchet growth anchored at
+/// the baseline file, ratchet improvements as `::notice`, and a final
+/// plain summary line for the job log.
+pub fn render_github(outcome: &Outcome, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    for v in &outcome.deny {
+        out.push_str(&format!(
+            "::error file={},line={},title={}::{}\n",
+            gh_prop(&v.path),
+            v.line,
+            gh_prop(&format!("ascend-lint {}", v.rule)),
+            gh_data(&v.msg)
+        ));
+    }
+    let (growth, improvements) = baseline::compare(&outcome.ratchet_counts(), baseline);
+    for g in &growth {
+        out.push_str(&format!(
+            "::error file={},line=1,title=ascend-lint ratchet::{}\n",
+            baseline::BASELINE_PATH,
+            gh_data(g)
+        ));
+    }
+    for n in &improvements {
+        out.push_str(&format!(
+            "::notice file={},line=1,title=ascend-lint ratchet::{}\n",
+            baseline::BASELINE_PATH,
+            gh_data(n)
+        ));
+    }
+    let problems = outcome.deny.len() + growth.len();
+    if problems == 0 {
+        out.push_str(&format!(
+            "ascend-lint: OK — {} files, {} active waivers\n",
+            outcome.files, outcome.waivers
+        ));
+    } else {
+        out.push_str(&format!("ascend-lint: FAIL — {problems} problem(s)\n"));
+    }
+    out
+}
+
+/// The `--format json` rendering: a single JSON object with the gate
+/// verdict, every deny violation, the per-(rule, crate) ratchet state,
+/// and the same error/note strings the text form prints. Guaranteed to
+/// round-trip through [`crate::json::parse`] (CI asserts this).
+pub fn render_json(outcome: &Outcome, baseline: &Baseline) -> String {
+    let result = check(outcome, baseline);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"ok\": {},\n", result.ok()));
+    out.push_str(&format!("  \"files\": {},\n", outcome.files));
+    out.push_str(&format!("  \"waivers\": {},\n", outcome.waivers));
+    out.push_str("  \"deny\": [");
+    for (i, v) in outcome.deny.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"crate\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            json::escape(v.rule),
+            json::escape(&v.path),
+            json::escape(&v.crate_name),
+            v.line,
+            json::escape(&v.msg)
+        ));
+    }
+    out.push_str(if outcome.deny.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"ratchet\": [");
+    for (i, ((rule, krate), vs)) in outcome.ratchet.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let allowed = baseline
+            .get(&(rule.clone(), krate.clone()))
+            .copied()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"crate\": \"{}\", \"count\": {}, \"baseline\": {}}}",
+            json::escape(rule),
+            json::escape(krate),
+            vs.len(),
+            allowed
+        ));
+    }
+    out.push_str(if outcome.ratchet.is_empty() { "],\n" } else { "\n  ],\n" });
+    for (key, lines) in [("errors", &result.errors), ("notes", &result.notes)] {
+        out.push_str(&format!("  \"{key}\": ["));
+        for (i, line) in lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\"", json::escape(line)));
+        }
+        out.push_str(if lines.is_empty() { "]" } else { "\n  ]" });
+        out.push_str(if key == "errors" { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::JsonValue;
     use crate::rules::{Violation, NO_PANIC_HOT, NO_PANIC_LIB};
     use std::collections::BTreeMap;
 
@@ -149,5 +265,92 @@ mod tests {
         let text = full_report(&outcome(Vec::new(), 2), &baseline);
         assert!(text.contains("no-panic-in-lib in `vit`: 2 (baseline 2)"));
         assert!(text.contains("crates/vit/src/model.rs:1"));
+    }
+
+    #[test]
+    fn github_format_annotates_the_offending_line() {
+        let text = render_github(&outcome(vec![hot_violation()], 0), &Baseline::new());
+        assert!(
+            text.contains(
+                "::error file=crates/core/src/serve.rs,line=9,title=ascend-lint no-panic-in-hot-path::"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("ascend-lint: FAIL — 1 problem(s)"));
+    }
+
+    #[test]
+    fn github_format_escapes_message_data() {
+        let mut v = hot_violation();
+        v.msg = "50% done\nsecond line".into();
+        let text = render_github(&outcome(vec![v], 0), &Baseline::new());
+        assert!(text.contains("50%25 done%0Asecond line"), "{text}");
+        // The annotation stays on one physical line.
+        let ann = text.lines().next().unwrap();
+        assert!(ann.ends_with("second line"), "{ann}");
+    }
+
+    #[test]
+    fn github_format_anchors_ratchet_growth_at_the_baseline_file() {
+        let text = render_github(&outcome(Vec::new(), 3), &Baseline::new());
+        assert!(
+            text.contains("::error file=crates/lint/baseline.tsv,line=1,title=ascend-lint ratchet::"),
+            "{text}"
+        );
+        // Improvements are notices, and a clean run says OK.
+        let baseline: Baseline = [((NO_PANIC_LIB.to_string(), "vit".to_string()), 2)]
+            .into_iter()
+            .collect();
+        let text = render_github(&outcome(Vec::new(), 1), &baseline);
+        assert!(text.contains("::notice file=crates/lint/baseline.tsv"), "{text}");
+        assert!(text.contains("ascend-lint: OK"), "{text}");
+    }
+
+    #[test]
+    fn json_format_parses_and_carries_the_verdict() {
+        let mut v = hot_violation();
+        v.msg = "quote \" backslash \\ newline\n".into();
+        let baseline: Baseline = [((NO_PANIC_LIB.to_string(), "vit".to_string()), 2)]
+            .into_iter()
+            .collect();
+        let text = render_json(&outcome(vec![v], 2), &baseline);
+        let doc = crate::json::parse(&text).expect("emitted JSON must parse");
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(doc.get("files").and_then(JsonValue::as_num), Some(3.0));
+        let deny = doc.get("deny").and_then(JsonValue::items).unwrap();
+        assert_eq!(deny.len(), 1);
+        assert_eq!(
+            deny[0].get("rule").and_then(JsonValue::as_str),
+            Some(NO_PANIC_HOT)
+        );
+        assert_eq!(deny[0].get("line").and_then(JsonValue::as_num), Some(9.0));
+        assert_eq!(
+            deny[0].get("msg").and_then(JsonValue::as_str),
+            Some("quote \" backslash \\ newline\n")
+        );
+        let ratchet = doc.get("ratchet").and_then(JsonValue::items).unwrap();
+        assert_eq!(ratchet[0].get("count").and_then(JsonValue::as_num), Some(2.0));
+        assert_eq!(
+            ratchet[0].get("baseline").and_then(JsonValue::as_num),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("errors").and_then(JsonValue::items).map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn json_format_clean_run_is_ok_with_empty_arrays() {
+        let text = render_json(&outcome(Vec::new(), 0), &Baseline::new());
+        let doc = crate::json::parse(&text).expect("emitted JSON must parse");
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        for key in ["deny", "ratchet", "errors", "notes"] {
+            assert_eq!(
+                doc.get(key).and_then(JsonValue::items).map(<[_]>::len),
+                Some(0),
+                "{key}"
+            );
+        }
     }
 }

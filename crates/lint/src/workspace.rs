@@ -125,14 +125,29 @@ fn relative(p: &Path, root: &Path) -> String {
 /// Propagates filesystem errors as strings.
 pub fn run(root: &Path) -> Result<Outcome, String> {
     let files = source_files(root)?;
-    let mut all = Vec::new();
+    // Phase 1: per-file rules + scope analysis.
+    let mut lints = Vec::new();
     let mut waivers = 0usize;
     for rel in &files {
         let full = root.join(rel);
         let src = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
-        waivers += rules::count_waivers(&src);
-        all.extend(rules::lint_source(rel, &src));
+        let lint = rules::analyze_file(rel, &src);
+        waivers += lint.waiver_count();
+        lints.push(lint);
+    }
+    // Phase 2: the workspace-wide lock-order graph needs every file's
+    // scope analysis at once (an AB-BA inversion spans functions and
+    // crates); its violations are attributed back to the acquiring line.
+    let mut cross: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in rules::lock_order(&lints) {
+        cross.entry(v.path.clone()).or_default().push(v);
+    }
+    // Phase 3: waivers apply per file, covering both rule classes.
+    let mut all = Vec::new();
+    for lint in lints {
+        let extra = cross.remove(&lint.path).unwrap_or_default();
+        all.extend(rules::finish(lint, extra));
     }
     let (deny, ratchet) = rules::partition(all);
     Ok(Outcome {

@@ -62,6 +62,31 @@ fn ratchet_matches_checked_in_baseline_exactly() {
 }
 
 #[test]
+fn baseline_file_is_canonical_and_minimal() {
+    // The committed TSV must be byte-identical to what the renderer
+    // would write for the measured counts: sorted, zero-count entries
+    // omitted, the standard header comment intact. This stops hand
+    // edits that pad counts, reorder lines, or leave dead entries — the
+    // ratchet only means something if the file is exactly the tree.
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join(baseline::BASELINE_PATH))
+        .expect("baseline.tsv exists");
+    let parsed = baseline::parse(&text).expect("baseline.tsv parses");
+    assert_eq!(
+        baseline::render(&parsed),
+        text,
+        "baseline.tsv is not in canonical form — regenerate it \
+         (cargo run -p ascend-lint -- --update-baseline)"
+    );
+    let outcome = workspace::run(&root).expect("lint run over the live workspace");
+    assert_eq!(
+        parsed,
+        outcome.ratchet_counts(),
+        "baseline.tsv does not equal the measured counts — regenerate it"
+    );
+}
+
+#[test]
 fn check_entrypoint_agrees_with_the_gate() {
     let root = repo_root();
     let outcome = workspace::run(&root).expect("lint run over the live workspace");

@@ -748,8 +748,17 @@ mod tests {
         }
 
         fn open_gate(&self) {
+            // Poison-recovery, not unwrap: if a test thread panics while
+            // holding the gate, recovering keeps the failure singular
+            // instead of cascading PoisonError panics through every
+            // other waiter (the gate payload is a plain bool, so the
+            // poisoned state is still coherent).
             if let Some((lock, cv)) = &self.gate {
-                *lock.lock().unwrap() = true;
+                let mut open = match lock.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *open = true;
                 cv.notify_all();
             }
         }
@@ -768,9 +777,15 @@ mod tests {
         fn resident_bytes(&self) -> usize {
             self.resident_calls.fetch_add(1, Ordering::SeqCst);
             if let Some((lock, cv)) = &self.gate {
-                let mut open = lock.lock().unwrap();
+                let mut open = match lock.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
                 while !*open {
-                    open = cv.wait(open).unwrap();
+                    open = match cv.wait(open) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
                 }
             }
             self.bytes
